@@ -1,0 +1,67 @@
+// F1 — Figure 1 reproduction: structural shape of the SkipTrie.
+//
+// The paper's Figure 1 shows a truncated skiplist of log log u levels whose
+// top-level nodes feed an x-fast trie.  The quantitative claims behind the
+// picture (§1 "The SkipTrie"):
+//   * a key reaches the top level with probability 1/log u, so the top
+//     holds ~m/log u keys,
+//   * the expected number of keys between two top-level keys ("bucket
+//     size") is O(log u),
+//   * total space is O(m).
+// This bench fills the structure and prints those quantities per universe.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/skiptrie.h"
+
+using namespace skiptrie;
+using namespace skiptrie::bench;
+
+int main() {
+  header("F1: SkipTrie structure vs Figure 1 (density, buckets, space)");
+  std::printf("%-6s %-8s %-10s %-12s %-10s %-10s %-10s %-12s %-12s\n", "B",
+              "m", "top_cnt", "m/B(expect)", "ratio", "avg_gap", "max_gap",
+              "bytes/key", "trie_entries");
+  row_sep();
+  for (const uint32_t bits : {16u, 32u, 64u}) {
+    for (const size_t m : {size_t{4096}, size_t{32768}}) {
+      Config cfg;
+      cfg.universe_bits = bits;
+      SkipTrie t(cfg);
+      fill_distinct(t, m, bits, /*seed=*/bits * 1000003 + m);
+      const auto s = t.structure_stats();
+      const double expect_top = static_cast<double>(m) / bits;
+      const double bytes_per_key =
+          static_cast<double>(s.arena_bytes + s.trie_bytes) /
+          static_cast<double>(m);
+      std::printf("%-6u %-8zu %-10zu %-12.1f %-10.2f %-10.1f %-10zu %-12.1f %-12zu\n",
+                  bits, m, s.top_count, expect_top,
+                  static_cast<double>(s.top_count) / expect_top,
+                  s.avg_top_gap, s.max_top_gap, bytes_per_key,
+                  s.trie_entries);
+    }
+  }
+  std::printf(
+      "\nPaper expectation: ratio ~1.0 (top density 1/log u), avg_gap ~log u,\n"
+      "bytes/key O(1) in m (space O(m)).\n");
+
+  header("F1b: per-level occupancy (geometric thinning, B=32, m=32768)");
+  {
+    Config cfg;
+    cfg.universe_bits = 32;
+    SkipTrie t(cfg);
+    fill_distinct(t, 32768, 32, 42);
+    const auto s = t.structure_stats();
+    std::printf("%-8s %-10s %-14s\n", "level", "nodes", "vs half-below");
+    row_sep(40);
+    for (uint32_t l = 0; l <= ceil_log2(32); ++l) {
+      const double ratio =
+          l == 0 ? 1.0
+                 : static_cast<double>(s.level_counts[l]) /
+                       (static_cast<double>(s.level_counts[l - 1]) / 2.0);
+      std::printf("%-8u %-10zu %-14.2f\n", l, s.level_counts[l], ratio);
+    }
+    std::printf("(each level should hold ~1/2 the level below: ratio ~1.0)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Google-benchmark microbenchmarks for the core operations.
+//
+// Complements the table benches (which report the paper's step counts) with
+// tight wall-clock numbers per operation, sweeping the structure size, for
+// SkipTrie and the full-height skiplist baseline.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "baseline/lockfree_skiplist.h"
+#include "bench_util.h"
+#include "core/skiptrie.h"
+
+using namespace skiptrie;
+using namespace skiptrie::bench;
+
+namespace {
+
+constexpr uint32_t kBits = 32;
+
+void BM_SkipTriePredecessor(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  Config cfg;
+  cfg.universe_bits = kBits;
+  SkipTrie t(cfg);
+  fill_distinct(t, m, kBits, 1);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        t.predecessor(rng.next() & universe_mask(kBits)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipTriePredecessor)->Range(1 << 10, 1 << 20);
+
+void BM_SkipListPredecessor(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  LockFreeSkipList s(static_cast<uint32_t>(std::log2(m)) + 2);
+  fill_distinct(s, m, kBits, 1);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.predecessor(rng.next() & universe_mask(kBits)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipListPredecessor)->Range(1 << 10, 1 << 20);
+
+void BM_SkipTrieContains(benchmark::State& state) {
+  Config cfg;
+  cfg.universe_bits = kBits;
+  SkipTrie t(cfg);
+  fill_distinct(t, 1 << 16, kBits, 2);
+  Xoshiro256 rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.contains(rng.next() & universe_mask(kBits)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipTrieContains);
+
+void BM_SkipTrieInsertErase(benchmark::State& state) {
+  Config cfg;
+  cfg.universe_bits = kBits;
+  SkipTrie t(cfg);
+  fill_distinct(t, 1 << 14, kBits, 3);
+  Xoshiro256 rng(11);
+  for (auto _ : state) {
+    const uint64_t k = rng.next() & universe_mask(kBits);
+    if (!t.insert(k)) t.erase(k);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipTrieInsertErase);
+
+void BM_SkipTrieInsertEraseCasFallback(benchmark::State& state) {
+  Config cfg;
+  cfg.universe_bits = kBits;
+  cfg.dcss_mode = DcssMode::kCasFallback;
+  SkipTrie t(cfg);
+  fill_distinct(t, 1 << 14, kBits, 3);
+  Xoshiro256 rng(11);
+  for (auto _ : state) {
+    const uint64_t k = rng.next() & universe_mask(kBits);
+    if (!t.insert(k)) t.erase(k);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipTrieInsertEraseCasFallback);
+
+SkipTrie& shared_trie() {
+  // Constructed once on first use (any thread; magic statics synchronize),
+  // reused by every thread count, destroyed at process exit.
+  static SkipTrie* t = [] {
+    Config cfg;
+    cfg.universe_bits = kBits;
+    auto* p = new SkipTrie(cfg);
+    fill_distinct(*p, 1 << 16, kBits, 4);
+    return p;
+  }();
+  return *t;
+}
+
+void BM_SkipTrieConcurrentPred(benchmark::State& state) {
+  SkipTrie& t = shared_trie();
+  Xoshiro256 rng(21 + state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        t.predecessor(rng.next() & universe_mask(kBits)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipTrieConcurrentPred)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// T2 — dependence on the universe size: predecessor cost should scale with
+// log log u (the binary search over prefix lengths does ceil(log2 B) hash
+// lookups), not with log u or log m.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/skiptrie.h"
+
+using namespace skiptrie;
+using namespace skiptrie::bench;
+
+int main() {
+  const size_t kQueries = 20000;
+  header("T2: predecessor cost vs universe bits B (fixed m)");
+  std::printf("%-6s %-8s %-10s %-14s %-14s %-12s %-10s\n", "B", "m",
+              "loglogu", "hash probes", "search steps", "ns/op",
+              "levels");
+  row_sep(90);
+  for (const uint32_t bits : {8u, 16u, 24u, 32u, 48u, 64u}) {
+    // Keep m constant where the universe allows; B=8 only holds 2^8 keys.
+    const size_t m = bits == 8 ? 128 : (size_t{1} << 16);
+    Config cfg;
+    cfg.universe_bits = bits;
+    SkipTrie t(cfg);
+    fill_distinct(t, m, bits, bits * 31 + 5);
+    const auto queries = random_queries(kQueries, bits, 7);
+    const auto r = measure_ops(queries, [&](uint64_t q) {
+      volatile auto v = t.predecessor(q).has_value();
+      (void)v;
+    });
+    std::printf("%-6u %-8zu %-10u %-14.2f %-14.1f %-12.0f %-10u\n", bits, m,
+                ceil_log2(bits), r.per_op(r.steps.hash_probes),
+                r.search_steps_per_op(), r.ns_per_op, ceil_log2(bits) + 1);
+  }
+  std::printf(
+      "\nPaper shape: hash probes and steps grow ~log log u (double-log in\n"
+      "the universe), i.e. roughly +1 probe level when B doubles; note the\n"
+      "m=2^16 rows differ only via B.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// T3 — amortization of x-fast-trie maintenance (§1, §4.2):
+//   * only ~1/log u of inserted keys rise to the top level and touch the
+//     trie at all,
+//   * each trie-touching insert/delete performs O(log u) hash updates,
+//   * so the amortized trie cost per operation is O(1) hash updates.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/skiptrie.h"
+
+using namespace skiptrie;
+using namespace skiptrie::bench;
+
+int main() {
+  header("T3: amortized x-fast-trie maintenance cost");
+  std::printf("%-6s %-8s %-10s %-12s %-14s %-14s %-16s\n", "B", "ops",
+              "top keys", "rise rate", "1/B (expect)", "hash_upd/op",
+              "upd/trie-op");
+  row_sep(90);
+  for (const uint32_t bits : {16u, 32u, 64u}) {
+    // Keep the fill sparse in the universe so distinct draws stay cheap.
+    const size_t m = bits == 16 ? (size_t{1} << 14) : (size_t{1} << 16);
+    Config cfg;
+    cfg.universe_bits = bits;
+    SkipTrie t(cfg);
+
+    tls_counters() = StepCounters{};
+    Xoshiro256 rng(bits);
+    std::vector<uint64_t> keys;
+    keys.reserve(m);
+    size_t inserted = 0;
+    while (inserted < m) {
+      const uint64_t k = rng.next() & universe_mask(bits);
+      if (bits >= 64 && k > bench_max_key(bits)) continue;
+      if (t.insert(k)) {
+        keys.push_back(k);
+        inserted++;
+      }
+    }
+    const StepCounters ins = tls_counters();
+    const auto s = t.structure_stats();
+    const double rise = static_cast<double>(s.top_count) / m;
+
+    tls_counters() = StepCounters{};
+    for (const uint64_t k : keys) t.erase(k);
+    const StepCounters del = tls_counters();
+
+    const double upd_per_insert = static_cast<double>(ins.hash_updates) / m;
+    const double upd_per_trie_insert =
+        s.top_count ? static_cast<double>(ins.hash_updates) / s.top_count
+                    : 0.0;
+    std::printf("%-6u %-8s %-10zu %-12.4f %-14.4f %-14.3f %-16.1f\n", bits,
+                "insert", s.top_count, rise, 1.0 / bits, upd_per_insert,
+                upd_per_trie_insert);
+    const double upd_per_erase = static_cast<double>(del.hash_updates) / m;
+    std::printf("%-6u %-8s %-10s %-12s %-14s %-14.3f %-16s\n", bits, "erase",
+                "-", "-", "-", upd_per_erase, "-");
+    tls_counters() = StepCounters{};
+  }
+  std::printf(
+      "\nPaper shape: rise rate ~1/B; hash updates per trie-touching insert\n"
+      "~B (one per prefix level); amortized updates per op O(1) and shrinking\n"
+      "relative to B as B grows.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// T5 — mixed-workload throughput across key distributions: the SkipTrie's
+// probabilistic balancing needs no rebalancing, so skewed or clustered key
+// patterns must not degrade it (the y-fast trie's bucket splits/merges are
+// exactly what the paper eliminates).
+#include <cstdio>
+#include <thread>
+
+#include "baseline/lockfree_skiplist.h"
+#include "bench_util.h"
+#include "core/skiptrie.h"
+#include "workload/driver.h"
+
+using namespace skiptrie;
+using namespace skiptrie::bench;
+
+int main() {
+  const unsigned threads = std::max(2u, std::thread::hardware_concurrency());
+  header("T5: throughput by key distribution (balanced mix)");
+  std::printf("%-12s %-12s %-10s %-12s %-12s %-12s\n", "structure", "dist",
+              "Mops/s", "steps/op", "hit-rate", "backsteps/op");
+  row_sep(80);
+  for (const KeyDist d : {KeyDist::kUniform, KeyDist::kZipf,
+                          KeyDist::kClustered, KeyDist::kSequential}) {
+    {
+      Config cfg;
+      cfg.universe_bits = 32;
+      SkipTrie t(cfg);
+      WorkloadConfig wc;
+      wc.threads = threads;
+      wc.ops_per_thread = 40000;
+      wc.mix = OpMix::balanced();
+      wc.dist = d;
+      wc.key_space = 1u << 20;
+      wc.prefill = 1u << 14;
+      const auto r = run_workload(t, wc);
+      const double hits = static_cast<double>(r.insert_hits + r.erase_hits +
+                                              r.pred_hits + r.lookup_hits) /
+                          r.total_ops;
+      std::printf("%-12s %-12s %-10.3f %-12.1f %-12.3f %-12.4f\n", "skiptrie",
+                  key_dist_name(d), r.mops(), r.search_steps_per_op(), hits,
+                  static_cast<double>(r.steps.back_steps) / r.total_ops);
+    }
+    {
+      LockFreeSkipList s(21);
+      WorkloadConfig wc;
+      wc.threads = threads;
+      wc.ops_per_thread = 40000;
+      wc.mix = OpMix::balanced();
+      wc.dist = d;
+      wc.key_space = 1u << 20;
+      wc.prefill = 1u << 14;
+      const auto r = run_workload(s, wc);
+      std::printf("%-12s %-12s %-10.3f %-12.1f %-12s %-12.4f\n",
+                  "skiplist-20", key_dist_name(d), r.mops(),
+                  r.search_steps_per_op(), "-",
+                  static_cast<double>(r.steps.back_steps) / r.total_ops);
+    }
+  }
+  std::printf(
+      "\nPaper shape: SkipTrie does fewer search steps/op than the log-m\n"
+      "skiplist across ALL distributions, with no rebalancing pathology on\n"
+      "sequential/clustered keys.\n");
+  return 0;
+}

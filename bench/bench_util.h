@@ -1,0 +1,89 @@
+// Shared helpers for the benchmark binaries: table printing, deterministic
+// fills, and step-counter measurement around operation batches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace skiptrie::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row_sep(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+// Largest key usable in a B-bit universe (B=64 reserves two sentinels).
+inline uint64_t bench_max_key(uint32_t bits) {
+  const uint64_t mask = universe_mask(bits);
+  return bits >= 64 ? mask - 2 : mask;
+}
+
+// Insert `m` distinct uniform keys drawn from a B-bit universe; returns
+// them.  m must be at most the universe size.
+template <typename Set>
+std::vector<uint64_t> fill_distinct(Set& set, size_t m, uint32_t bits,
+                                    uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::set<uint64_t> keys;
+  const uint64_t maxk = bench_max_key(bits);
+  while (keys.size() < m) {
+    const uint64_t k = rng.next() & universe_mask(bits);
+    if (k > maxk) continue;
+    if (keys.insert(k).second) set.insert(k);
+  }
+  return std::vector<uint64_t>(keys.begin(), keys.end());
+}
+
+struct Measured {
+  double ns_per_op = 0.0;
+  StepCounters steps;
+  uint64_t ops = 0;
+
+  double per_op(uint64_t v) const {
+    return ops ? static_cast<double>(v) / static_cast<double>(ops) : 0.0;
+  }
+  double search_steps_per_op() const { return per_op(steps.search_steps()); }
+};
+
+// Measure fn(key) over `queries` keys, collecting wall time and counters.
+template <typename F>
+Measured measure_ops(const std::vector<uint64_t>& queries, F fn) {
+  Measured m;
+  tls_counters() = StepCounters{};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const uint64_t q : queries) fn(q);
+  const auto t1 = std::chrono::steady_clock::now();
+  m.steps = tls_counters();
+  m.ops = queries.size();
+  m.ns_per_op = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                static_cast<double>(queries.size() ? queries.size() : 1);
+  tls_counters() = StepCounters{};
+  return m;
+}
+
+inline std::vector<uint64_t> random_queries(size_t n, uint32_t bits,
+                                            uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> q(n);
+  const uint64_t maxk = bench_max_key(bits);
+  for (auto& v : q) {
+    do {
+      v = rng.next() & universe_mask(bits);
+    } while (v > maxk);
+  }
+  return q;
+}
+
+}  // namespace skiptrie::bench

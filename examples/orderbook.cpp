@@ -1,0 +1,125 @@
+// Example: limit order book price levels on a SkipTrie.
+//
+//   build/examples/orderbook
+//
+// A matching engine keeps two sets of price levels.  The hot queries are
+// exactly the SkipTrie's strengths:
+//   best bid            = predecessor(+inf) on the bid set
+//   best ask            = successor(0) on the ask set
+//   marketable check    = predecessor/successor against the incoming price
+// Price levels churn heavily (levels empty out and reappear), and prices
+// live in a small fixed universe (ticks), so u is tiny and log log u beats
+// log m structurally.  Quantities are tracked per level beside the trie.
+#include <atomic>
+#include <cstdio>
+#include <inttypes.h>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/skiptrie.h"
+
+using namespace skiptrie;
+
+namespace {
+
+constexpr uint32_t kTickBits = 24;  // prices are ticks in [0, 2^24)
+constexpr uint64_t kMid = 8'000'000;
+
+Config cfg() {
+  Config c;
+  c.universe_bits = kTickBits;
+  return c;
+}
+
+struct Book {
+  SkipTrie bids{cfg()};
+  SkipTrie asks{cfg()};
+  // Per-level open quantity; sized for the whole tick universe region we
+  // trade in (demo simplification; a real book shards this).
+  std::vector<std::atomic<int64_t>> qty;
+
+  Book() : qty(1 << 20) {}
+
+  std::atomic<int64_t>& level(uint64_t px) { return qty[px % qty.size()]; }
+
+  void add_bid(uint64_t px, int64_t q) {
+    if (level(px).fetch_add(q) == 0 || !bids.contains(px)) bids.insert(px);
+  }
+  void add_ask(uint64_t px, int64_t q) {
+    if (level(px).fetch_add(q) == 0 || !asks.contains(px)) asks.insert(px);
+  }
+  void drain_level(SkipTrie& side, uint64_t px, int64_t q) {
+    if (level(px).fetch_sub(q) - q <= 0) side.erase(px);
+  }
+
+  std::optional<uint64_t> best_bid() { return bids.predecessor(~0u >> 8); }
+  std::optional<uint64_t> best_ask() { return asks.successor(0); }
+};
+
+}  // namespace
+
+int main() {
+  Book book;
+
+  // Seed a book around the mid price.
+  for (int i = 1; i <= 50; ++i) {
+    book.add_bid(kMid - i, 100 * i);
+    book.add_ask(kMid + i, 100 * i);
+  }
+  std::printf("seeded book: best bid %" PRIu64 ", best ask %" PRIu64
+              ", spread %" PRIu64 " ticks\n",
+              *book.best_bid(), *book.best_ask(),
+              *book.best_ask() - *book.best_bid());
+
+  // Concurrent order flow: makers add liquidity at random depths, takers
+  // lift the touch, queries watch the spread.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> crossings{0}, quotes{0};
+  std::thread maker([&] {
+    Xoshiro256 rng(1);
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t depth = 1 + rng.next_below(100);
+      if (rng.next() & 1) {
+        book.add_bid(kMid - depth, 100);
+      } else {
+        book.add_ask(kMid + depth, 100);
+      }
+    }
+  });
+  std::thread taker([&] {
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 200000; ++i) {
+      if (rng.next() & 1) {
+        if (auto b = book.best_bid()) book.drain_level(book.bids, *b, 100);
+      } else {
+        if (auto a = book.best_ask()) book.drain_level(book.asks, *a, 100);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread watcher([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto b = book.best_bid();
+      const auto a = book.best_ask();
+      quotes.fetch_add(1, std::memory_order_relaxed);
+      if (b && a && *b >= *a) crossings.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  maker.join();
+  taker.join();
+  watcher.join();
+
+  std::printf("after flow: best bid %s, best ask %s\n",
+              book.best_bid() ? std::to_string(*book.best_bid()).c_str()
+                              : "(empty)",
+              book.best_ask() ? std::to_string(*book.best_ask()).c_str()
+                              : "(empty)");
+  std::printf("%" PRIu64 " spread snapshots taken concurrently; %" PRIu64
+              " transient crossed observations (expected under concurrent\n"
+              "updates of two independent sets)\n",
+              quotes.load(), crossings.load());
+  std::printf("bid levels: %zu, ask levels: %zu\n", book.bids.size(),
+              book.asks.size());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the SkipTrie public API in one file.
+//
+//   build/examples/quickstart
+//
+// Creates a SkipTrie over a 32-bit key universe, performs the three core
+// operations (insert, predecessor, delete) plus the convenience queries,
+// and prints what the paper's complexity bounds mean for the structure.
+#include <cstdio>
+#include <inttypes.h>
+#include <string>
+
+#include "common/bitops.h"
+#include "core/skiptrie.h"
+
+int main() {
+  using namespace skiptrie;
+
+  // 1. Configure: the only required choice is the key universe [0, 2^B).
+  Config cfg;
+  cfg.universe_bits = 32;  // u = 2^32, so log log u = 5
+  SkipTrie set(cfg);
+
+  // 2. Insert keys.  insert() is lock-free and returns false on duplicates.
+  for (uint64_t k : {300u, 100u, 200u, 400u, 150u}) {
+    const bool fresh = set.insert(k);
+    std::printf("insert(%3" PRIu64 ") -> %s\n", k, fresh ? "ok" : "duplicate");
+  }
+
+  // 3. Predecessor queries: the paper's headline operation, expected
+  //    amortized O(log log u + c) steps.
+  for (uint64_t q : {99u, 100u, 175u, 1000u}) {
+    const auto p = set.predecessor(q);   // largest key <= q
+    const auto s = set.successor(q);     // smallest key > q
+    std::printf("predecessor(%4" PRIu64 ") = %-12s successor(%4" PRIu64
+                ") = %s\n",
+                q, p ? std::to_string(*p).c_str() : "(none)", q,
+                s ? std::to_string(*s).c_str() : "(none)");
+  }
+
+  // 4. Membership and deletion.
+  std::printf("contains(200) = %d\n", set.contains(200));
+  std::printf("erase(200)    = %d\n", set.erase(200));
+  std::printf("contains(200) = %d\n", set.contains(200));
+  std::printf("predecessor(250) now = %" PRIu64 "\n", *set.predecessor(250));
+
+  // 5. Structure introspection (used heavily by the benchmarks).
+  const auto stats = set.structure_stats();
+  std::printf("\nkeys=%zu, top-level keys=%zu, trie entries=%zu\n",
+              stats.keys, stats.top_count, stats.trie_entries);
+  std::printf("universe bits B=%u -> skiplist levels=%u (log log u + 1)\n",
+              set.universe_bits(), ceil_log2(set.universe_bits()) + 1);
+  return 0;
+}

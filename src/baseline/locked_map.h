@@ -1,0 +1,60 @@
+// Reader-writer-locked std::map baseline.
+//
+// The "obvious" thread-safe ordered set: a balanced tree (log m depth)
+// behind a shared_mutex.  Included so benchmarks can show both axes the
+// paper motivates: search depth (log m vs log log u) and the collapse of
+// lock-based structures under write contention.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+
+namespace skiptrie {
+
+class LockedMap {
+ public:
+  bool insert(uint64_t key) {
+    std::unique_lock lk(mu_);
+    return set_.insert({key, true}).second;
+  }
+
+  bool erase(uint64_t key) {
+    std::unique_lock lk(mu_);
+    return set_.erase(key) > 0;
+  }
+
+  bool contains(uint64_t key) const {
+    std::shared_lock lk(mu_);
+    return set_.find(key) != set_.end();
+  }
+
+  // Largest key' <= key.
+  std::optional<uint64_t> predecessor(uint64_t key) const {
+    std::shared_lock lk(mu_);
+    auto it = set_.upper_bound(key);
+    if (it == set_.begin()) return std::nullopt;
+    --it;
+    return it->first;
+  }
+
+  std::optional<uint64_t> successor(uint64_t key) const {
+    std::shared_lock lk(mu_);
+    auto it = set_.upper_bound(key);
+    if (it == set_.end()) return std::nullopt;
+    return it->first;
+  }
+
+  size_t size() const {
+    std::shared_lock lk(mu_);
+    return set_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<uint64_t, bool> set_;
+};
+
+}  // namespace skiptrie

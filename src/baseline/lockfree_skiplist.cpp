@@ -1,0 +1,74 @@
+#include "baseline/lockfree_skiplist.h"
+
+#include "common/random.h"
+
+namespace skiptrie {
+
+namespace {
+Xoshiro256& baseline_rng(uint64_t seed) {
+  thread_local uint64_t nonce = [] {
+    static std::atomic<uint64_t> counter{0x1000};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }();
+  thread_local Xoshiro256 rng(mix64(seed ^ mix64(nonce)));
+  return rng;
+}
+}  // namespace
+
+LockFreeSkipList::LockFreeSkipList(uint32_t levels, DcssMode mode,
+                                   uint64_t seed)
+    : seed_(seed),
+      arena_(sizeof(Node), kCacheLine, 4096),
+      ebr_(),
+      ctx_{&ebr_, mode},
+      engine_(ctx_, arena_, levels) {}
+
+bool LockFreeSkipList::insert(uint64_t key) {
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key);
+  const uint32_t h =
+      baseline_rng(seed_).geometric_height(engine_.top_level());
+  const auto r = engine_.insert(x, engine_.head(engine_.top_level()), h);
+  if (r.inserted) size_.fetch_add(1, std::memory_order_relaxed);
+  return r.inserted;
+}
+
+bool LockFreeSkipList::erase(uint64_t key) {
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key);
+  auto r = engine_.erase(x, engine_.head(engine_.top_level()));
+  if (!r.erased) return false;
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  engine_.retire_owned(r);
+  return true;
+}
+
+bool LockFreeSkipList::contains(uint64_t key) const {
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key);
+  const auto b = engine_.descend(x, engine_.head(engine_.top_level()));
+  return b.right->ikey() == x;
+}
+
+std::optional<uint64_t> LockFreeSkipList::predecessor(uint64_t key) const {
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key) + 1;
+  const auto b = engine_.descend(x, engine_.head(engine_.top_level()));
+  if (b.left->kind() != NodeKind::kInterior) return std::nullopt;
+  return b.left->ikey() - 1;
+}
+
+std::optional<uint64_t> LockFreeSkipList::successor(uint64_t key) const {
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key) + 1;
+  const auto b = engine_.descend(x, engine_.head(engine_.top_level()));
+  if (b.right->kind() != NodeKind::kInterior) return std::nullopt;
+  return b.right->ikey() - 1;
+}
+
+size_t LockFreeSkipList::size() const {
+  const int64_t s = size_.load(std::memory_order_relaxed);
+  return s > 0 ? static_cast<size_t>(s) : 0;
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,39 @@
+// Bounded exponential backoff for CAS retry loops.
+//
+// Contention loops in the trie and skiplist retry after a failed CAS/DCSS.
+// A short spin with exponential growth (capped) reduces cache-line ping-pong
+// without affecting lock-freedom (backoff only delays, never blocks).
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace skiptrie {
+
+class Backoff {
+ public:
+  void spin() {
+    for (uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    if (limit_ < kMaxSpin) limit_ <<= 1;
+  }
+
+  void reset() { limit_ = kMinSpin; }
+
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#else
+    asm volatile("" ::: "memory");
+#endif
+  }
+
+ private:
+  static constexpr uint32_t kMinSpin = 4;
+  static constexpr uint32_t kMaxSpin = 1024;
+  uint32_t limit_ = kMinSpin;
+};
+
+}  // namespace skiptrie

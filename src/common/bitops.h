@@ -1,0 +1,69 @@
+// Bit and prefix arithmetic for the x-fast trie.
+//
+// Keys are B-bit integers (`B = Config::universe_bits`, 4..64) stored in the
+// low B bits of a uint64_t.  Bit index i (0-based) counts from the most
+// significant of the B bits, so bit 0 is the root branching decision of the
+// prefix tree.  A prefix of length L is the top L bits of the key; it is
+// encoded into a single uint64_t with a leading 1 ("1-prefixed" encoding) so
+// that (bits, length) pairs of every length 0..63 map to distinct integers:
+//
+//   encode(key, L, B) = (1 << L) | (key >> (B - L))
+//
+// Trie prefixes always have L <= B-1 <= 63, so the encoding never overflows.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace skiptrie {
+
+// ceil(log2(v)) for v >= 1.  ceil_log2(1) == 0.
+inline constexpr uint32_t ceil_log2(uint64_t v) {
+  uint32_t r = 0;
+  uint64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+    ++r;
+  }
+  return r;
+}
+
+// The i-th bit of `key` counting from the MSB of a B-bit universe.
+inline uint64_t key_bit(uint64_t key, uint32_t i, uint32_t bits) {
+  assert(i < bits);
+  return (key >> (bits - 1 - i)) & 1ull;
+}
+
+// Encode the length-`len` prefix of `key` (see file comment).
+inline uint64_t encode_prefix(uint64_t key, uint32_t len, uint32_t bits) {
+  assert(len <= 63 && len < bits);
+  if (len == 0) return 1ull;  // the root prefix (epsilon)
+  return (1ull << len) | (key >> (bits - len));
+}
+
+// True iff the length-`len` prefix of `key` equals the prefix encoded by
+// `encoded` (which must have been produced by encode_prefix with length len).
+inline bool prefix_matches(uint64_t encoded, uint64_t key, uint32_t len,
+                           uint32_t bits) {
+  return encode_prefix(key, len, bits) == encoded;
+}
+
+// Length of the longest common prefix of x and y within a B-bit universe.
+inline uint32_t lcp_length(uint64_t x, uint64_t y, uint32_t bits) {
+  uint64_t diff = x ^ y;
+  if (bits < 64) diff &= (1ull << bits) - 1;
+  if (diff == 0) return bits;
+  uint32_t highest = 63u - static_cast<uint32_t>(__builtin_clzll(diff));
+  return bits - 1 - highest;
+}
+
+// Unsigned absolute difference, used by LowestAncestor's "best candidate"
+// rule (paper Alg. 3 line 12).
+inline uint64_t abs_diff(uint64_t a, uint64_t b) { return a > b ? a - b : b - a; }
+
+// Mask of the low `bits` bits (bits == 64 -> all ones).
+inline constexpr uint64_t universe_mask(uint32_t bits) {
+  return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,43 @@
+// Tagged 64-bit pointer words.
+//
+// Every mutable link in the SkipTrie (skiplist `next` words, top-level `prev`
+// words, x-fast-trie child pointers, hash-list `next` words) is a single
+// 64-bit word that packs a pointer together with up to two low tag bits:
+//
+//   bit 0 (kMark):  Harris-style logical-deletion mark.  A set mark on a
+//                   node's `next` word means *the node holding the word* is
+//                   logically deleted.  On a `prev` word it mirrors the
+//                   owner's deletion so DCSS guards can observe
+//                   "(prev, marked)" as one word (paper, Alg. 7 line 17).
+//   bit 1 (kDesc):  the word currently holds a DCSS descriptor pointer
+//                   instead of a value; readers must help (see dcss/dcss.h).
+//
+// All node types used with these words are allocated with alignment >= 8 so
+// the two low bits of a real pointer are always zero.
+#pragma once
+
+#include <cstdint>
+
+namespace skiptrie {
+
+inline constexpr uint64_t kMark = 1ull;
+inline constexpr uint64_t kDesc = 2ull;
+inline constexpr uint64_t kTagMask = kMark | kDesc;
+
+template <typename T>
+inline uint64_t pack_ptr(T* p, uint64_t tags = 0) {
+  return reinterpret_cast<uint64_t>(p) | tags;
+}
+
+template <typename T>
+inline T* unpack_ptr(uint64_t w) {
+  return reinterpret_cast<T*>(w & ~kTagMask);
+}
+
+inline bool is_marked(uint64_t w) { return (w & kMark) != 0; }
+inline bool is_desc(uint64_t w) { return (w & kDesc) != 0; }
+inline uint64_t with_mark(uint64_t w) { return w | kMark; }
+inline uint64_t without_tags(uint64_t w) { return w & ~kTagMask; }
+inline uint64_t tags_of(uint64_t w) { return w & kTagMask; }
+
+}  // namespace skiptrie

@@ -1,0 +1,59 @@
+#include "common/random.h"
+
+namespace skiptrie {
+
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+static inline uint64_t rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  // Seed the 256-bit state from splitmix64 per the xoshiro authors' advice.
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Xoshiro256::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256::next_below(uint64_t bound) {
+  // Lemire's multiply-shift rejection-free-enough bounded draw; the bias is
+  // at most bound/2^64, negligible for workload generation.
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint32_t Xoshiro256::geometric_height(uint32_t cap) {
+  // Count trailing heads in a 64-bit draw: P(h >= k) = 2^-k, exactly the
+  // paper's fair-coin tower raising.  cap truncates at the skiplist top.
+  uint64_t r = next();
+  uint32_t h = 0;
+  while (h < cap && (r & 1ull)) {
+    ++h;
+    r >>= 1;
+    if (h % 64 == 0) r = next();  // practically unreachable; keeps it exact
+  }
+  return h;
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,44 @@
+// Pseudo-random number generation.
+//
+// splitmix64 is used for hashing and seeding; xoshiro256** is the workhorse
+// generator for workloads and tower-height sampling.  Both are seedable and
+// deterministic so tests and benchmarks are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace skiptrie {
+
+// One splitmix64 step; also a good 64-bit integer mixer/hash.
+uint64_t splitmix64(uint64_t& state);
+
+// Stateless mix of a single value (finalizer of splitmix64).
+inline uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x853c49e6748fea9bull);
+
+  uint64_t next();
+
+  // Uniform value in [0, bound).  bound must be > 0.
+  uint64_t next_below(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Geometric(1/2) sample in [0, cap]: number of consecutive heads.
+  // This is the skiplist tower-height draw H(x) from the paper, capped at
+  // the truncated top level.
+  uint32_t geometric_height(uint32_t cap);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace skiptrie

@@ -1,0 +1,32 @@
+// Sense-reversing spin barrier for benchmark thread coordination.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/backoff.h"
+
+namespace skiptrie {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t parties) : parties_(parties), waiting_(parties) {}
+
+  void arrive_and_wait() {
+    const uint64_t my_sense = sense_.load(std::memory_order_acquire);
+    if (waiting_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      waiting_.store(parties_, std::memory_order_relaxed);
+      sense_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    Backoff bo;
+    while (sense_.load(std::memory_order_acquire) == my_sense) bo.spin();
+  }
+
+ private:
+  const uint32_t parties_;
+  std::atomic<uint32_t> waiting_;
+  std::atomic<uint64_t> sense_{0};
+};
+
+}  // namespace skiptrie

@@ -1,0 +1,45 @@
+#include "common/stats.h"
+
+namespace skiptrie {
+
+StepCounters& StepCounters::operator+=(const StepCounters& o) {
+  node_hops += o.node_hops;
+  hash_probes += o.hash_probes;
+  hash_updates += o.hash_updates;
+  cas_attempts += o.cas_attempts;
+  cas_failures += o.cas_failures;
+  dcss_attempts += o.dcss_attempts;
+  dcss_guard_fails += o.dcss_guard_fails;
+  dcss_helps += o.dcss_helps;
+  back_steps += o.back_steps;
+  prev_steps += o.prev_steps;
+  restarts += o.restarts;
+  trie_level_ops += o.trie_level_ops;
+  retired_nodes += o.retired_nodes;
+  return *this;
+}
+
+StepCounters StepCounters::operator-(const StepCounters& o) const {
+  StepCounters r = *this;
+  r.node_hops -= o.node_hops;
+  r.hash_probes -= o.hash_probes;
+  r.hash_updates -= o.hash_updates;
+  r.cas_attempts -= o.cas_attempts;
+  r.cas_failures -= o.cas_failures;
+  r.dcss_attempts -= o.dcss_attempts;
+  r.dcss_guard_fails -= o.dcss_guard_fails;
+  r.dcss_helps -= o.dcss_helps;
+  r.back_steps -= o.back_steps;
+  r.prev_steps -= o.prev_steps;
+  r.restarts -= o.restarts;
+  r.trie_level_ops -= o.trie_level_ops;
+  r.retired_nodes -= o.retired_nodes;
+  return r;
+}
+
+StepCounters& tls_counters() {
+  thread_local StepCounters counters;
+  return counters;
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,51 @@
+// Per-thread operation step counters.
+//
+// The paper's headline result is a *step-complexity* bound
+// (O(log log u + c_OI) expected amortized steps per operation), so the
+// benchmark harness must be able to count steps, not just wall time.  Every
+// potentially-shared-memory step of interest increments a thread-local
+// counter; the harness snapshots counters around a measured phase and
+// aggregates across threads.  Counting is branch-free increments on
+// thread-local cache lines, cheap enough to leave enabled.
+#pragma once
+
+#include <cstdint>
+
+namespace skiptrie {
+
+struct StepCounters {
+  uint64_t node_hops = 0;        // list-node traversal steps (all levels)
+  uint64_t hash_probes = 0;      // prefix hash-table lookups
+  uint64_t hash_updates = 0;     // prefix hash-table insert/delete attempts
+  uint64_t cas_attempts = 0;     // structural CAS attempts
+  uint64_t cas_failures = 0;     // failed structural CAS
+  uint64_t dcss_attempts = 0;    // DCSS attempts (descriptor installs)
+  uint64_t dcss_guard_fails = 0; // DCSS aborted because the guard mismatched
+  uint64_t dcss_helps = 0;       // descriptors completed on behalf of others
+  uint64_t back_steps = 0;       // back-pointer follows (marked-node recovery)
+  uint64_t prev_steps = 0;       // prev-pointer follows (top-level walk)
+  uint64_t restarts = 0;         // validation-triggered restarts from a head
+  uint64_t trie_level_ops = 0;   // x-fast-trie per-level update iterations
+  uint64_t retired_nodes = 0;    // nodes handed to reclamation
+
+  StepCounters& operator+=(const StepCounters& o);
+  StepCounters operator-(const StepCounters& o) const;
+
+  // Steps in the sense of the paper's bound: shared-memory accesses made
+  // while searching (hops + probes + guide-pointer follows).
+  uint64_t search_steps() const {
+    return node_hops + hash_probes + back_steps + prev_steps;
+  }
+  uint64_t total_steps() const {
+    return search_steps() + hash_updates + cas_attempts + dcss_attempts +
+           trie_level_ops;
+  }
+};
+
+// The calling thread's counters.  Distinct threads get distinct instances.
+StepCounters& tls_counters();
+
+// Snapshot/restore helpers for measurement phases.
+inline StepCounters snapshot_counters() { return tls_counters(); }
+
+}  // namespace skiptrie

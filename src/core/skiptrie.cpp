@@ -1,0 +1,182 @@
+#include "core/skiptrie.h"
+
+#include <cassert>
+
+#include "common/bitops.h"
+#include "common/random.h"
+
+namespace skiptrie {
+
+namespace {
+
+// Per-thread tower-height RNG.  Threads derive distinct streams from the
+// structure seed and a per-thread nonce so concurrent inserters don't share
+// coin flips.
+Xoshiro256& height_rng(uint64_t seed) {
+  thread_local uint64_t tl_nonce = 0;
+  thread_local Xoshiro256 rng = [] {
+    static std::atomic<uint64_t> counter{1};
+    tl_nonce = counter.fetch_add(1, std::memory_order_relaxed);
+    return Xoshiro256(tl_nonce);
+  }();
+  thread_local uint64_t seeded_for = 0;
+  if (seeded_for != seed + 1) {
+    seeded_for = seed + 1;
+    rng = Xoshiro256(mix64(seed ^ mix64(tl_nonce)));
+  }
+  return rng;
+}
+
+}  // namespace
+
+SkipTrie::SkipTrie(const Config& cfg)
+    : cfg_(cfg),
+      arena_(sizeof(Node), kCacheLine, cfg.arena_blocks_per_slab),
+      ebr_(),
+      ctx_{&ebr_, cfg.dcss_mode},
+      engine_(ctx_, arena_, ceil_log2(cfg.universe_bits)),
+      trie_(ctx_, engine_, cfg.universe_bits, cfg.max_hash_buckets) {
+  assert(cfg.universe_bits >= 4 && cfg.universe_bits <= 64);
+}
+
+uint64_t SkipTrie::max_key() const {
+  const uint64_t mask = universe_mask(cfg_.universe_bits);
+  return cfg_.universe_bits >= 64 ? mask - 2 : mask;
+}
+
+bool SkipTrie::insert(uint64_t key) {
+  assert(key <= max_key());
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key);
+  Node* start = trie_.pred_start(key, x);
+  const uint32_t h =
+      height_rng(cfg_.seed).geometric_height(engine_.top_level());
+  const SkipListEngine::InsertResult r = engine_.insert(x, start, h);
+  if (!r.inserted) return false;
+  size_.fetch_add(1, std::memory_order_relaxed);
+  if (r.top != nullptr) {
+    trie_.insert_prefixes(key, r.top);
+  }
+  return true;
+}
+
+bool SkipTrie::erase(uint64_t key) {
+  assert(key <= max_key());
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key);
+  Node* start = trie_.pred_start(key, x);
+  SkipListEngine::EraseResult r = engine_.erase(x, start);
+  if (!r.erased) return false;
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  if (r.top != nullptr) {
+    // Algorithm 7's trie sweep must finish before the tower's storage can
+    // be recycled; only then retire the nodes we own.
+    trie_.remove_prefixes(key, r.top, r.top_left);
+  }
+  engine_.retire_owned(r);
+  return true;
+}
+
+bool SkipTrie::contains(uint64_t key) const {
+  assert(key <= max_key());
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key);
+  Node* start = trie_.pred_start(key, x);
+  const SkipListEngine::Bracket b = engine_.descend(x, start);
+  return b.right->ikey() == x;
+}
+
+std::optional<uint64_t> SkipTrie::predecessor(uint64_t key) const {
+  assert(key <= max_key());
+  EbrDomain::Guard g(ebr_);
+  // Largest ikey <= ikey(key)  <=>  bracket left of x = ikey(key) + 1.
+  const uint64_t x = ikey_of(key) + 1;
+  Node* start = trie_.pred_start(key, x);
+  const SkipListEngine::Bracket b = engine_.descend(x, start);
+  if (b.left->kind() != NodeKind::kInterior) return std::nullopt;  // head
+  return b.left->ikey() - 1;
+}
+
+std::optional<uint64_t> SkipTrie::strict_predecessor(uint64_t key) const {
+  assert(key <= max_key());
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key);
+  Node* start = trie_.pred_start(key, x);
+  const SkipListEngine::Bracket b = engine_.descend(x, start);
+  if (b.left->kind() != NodeKind::kInterior) return std::nullopt;
+  return b.left->ikey() - 1;
+}
+
+std::optional<uint64_t> SkipTrie::successor(uint64_t key) const {
+  assert(key <= max_key());
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key) + 1;  // first node with ikey >= ikey(key)+1
+  Node* start = trie_.pred_start(key, x);
+  const SkipListEngine::Bracket b = engine_.descend(x, start);
+  if (b.right->kind() != NodeKind::kInterior) return std::nullopt;  // tail
+  return b.right->ikey() - 1;
+}
+
+std::optional<uint64_t> SkipTrie::min_key() const {
+  EbrDomain::Guard g(ebr_);
+  // First node with ikey >= 1, i.e. the smallest key.
+  const SkipListEngine::Bracket b =
+      engine_.descend(1, engine_.head(engine_.top_level()));
+  if (b.right->kind() != NodeKind::kInterior) return std::nullopt;
+  return b.right->ikey() - 1;
+}
+
+std::optional<uint64_t> SkipTrie::max_key_present() const {
+  return predecessor(max_key());
+}
+
+size_t SkipTrie::size() const {
+  const int64_t s = size_.load(std::memory_order_relaxed);
+  return s > 0 ? static_cast<size_t>(s) : 0;
+}
+
+SkipTrie::StructureStats SkipTrie::structure_stats() const {
+  EbrDomain::Guard g(ebr_);
+  StructureStats s;
+  const uint32_t top = engine_.top_level();
+  for (uint32_t l = 0; l <= top; ++l) {
+    size_t n = 0;
+    for (Node* it = engine_.first_at(l); it != nullptr;
+         it = engine_.next_at(it)) {
+      ++n;
+    }
+    s.level_counts[l] = n;
+  }
+  s.keys = s.level_counts[0];
+  s.top_count = s.level_counts[top];
+  s.trie_entries = trie_.entry_count();
+  s.arena_bytes = engine_.approx_bytes();
+  s.trie_bytes = trie_.approx_bytes();
+
+  // Gap statistics: number of level-0 keys strictly between consecutive
+  // top-level nodes (the paper's "bucket" size, expected O(log u)).
+  size_t gaps = 0, gap_total = 0, gap_cur = 0;
+  Node* next_top = engine_.first_at(top);
+  uint64_t next_top_key = next_top != nullptr ? next_top->ikey() : UINT64_MAX;
+  for (Node* it = engine_.first_at(0); it != nullptr;
+       it = engine_.next_at(it)) {
+    if (it->ikey() >= next_top_key) {
+      ++gaps;
+      gap_total += gap_cur;
+      if (gap_cur > s.max_top_gap) s.max_top_gap = gap_cur;
+      gap_cur = 0;
+      next_top = next_top != nullptr ? engine_.next_at(next_top) : nullptr;
+      next_top_key = next_top != nullptr ? next_top->ikey() : UINT64_MAX;
+    } else {
+      ++gap_cur;
+    }
+  }
+  if (gap_cur > s.max_top_gap) s.max_top_gap = gap_cur;
+  gap_total += gap_cur;
+  s.avg_top_gap = gaps > 0 ? static_cast<double>(gap_total) /
+                                 static_cast<double>(gaps + 1)
+                           : static_cast<double>(gap_total);
+  return s;
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,139 @@
+// SkipTrie — low-depth concurrent search without rebalancing.
+//
+// Public API of the data structure from Oshman & Shavit, PODC 2013: a
+// lock-free, linearizable ordered set of B-bit integer keys supporting
+//
+//   insert(k)        expected amortized O(c · log log u)
+//   erase(k)         expected amortized O(c · log log u)
+//   predecessor(k)   expected amortized O(log log u + c) — largest key <= k
+//   successor(k), strict_predecessor(k), contains(k)
+//
+// where u = 2^B is the universe size and c the contention (paper Thm. 4.3).
+// Internally: a truncated lock-free skiplist of log log u levels whose
+// top-level nodes are doubly linked and indexed by a concurrent x-fast trie
+// over a split-ordered hash table; see DESIGN.md for the full inventory.
+//
+// Thread safety: all operations may be called concurrently from any number
+// of threads (up to EbrDomain::kMaxThreads distinct threads over the
+// structure's lifetime).  Destruction must be externally quiesced, like any
+// concurrent container.
+//
+// Key range: [0, 2^B) for B < 64; for B = 64 the two largest keys
+// (2^64-1, 2^64-2) are reserved for sentinels.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.h"
+#include "reclaim/arena.h"
+#include "reclaim/ebr.h"
+#include "skiplist/engine.h"
+#include "xfast/xfast_trie.h"
+
+namespace skiptrie {
+
+class SkipTrie {
+ public:
+  explicit SkipTrie(const Config& cfg = Config{});
+  ~SkipTrie() = default;
+
+  SkipTrie(const SkipTrie&) = delete;
+  SkipTrie& operator=(const SkipTrie&) = delete;
+
+  // Inserts key; false if already present.  Linearizes at the level-0 link
+  // (or at an observation of the key being present).
+  bool insert(uint64_t key);
+
+  // Removes key; false if absent.  Linearizes at the level-0 mark.
+  bool erase(uint64_t key);
+
+  // Membership test (predecessor-query machinery, exact at level 0).
+  bool contains(uint64_t key) const;
+
+  // Largest key' <= key (the paper's predecessor(key), Alg. 5).
+  std::optional<uint64_t> predecessor(uint64_t key) const;
+
+  // Largest key' < key.
+  std::optional<uint64_t> strict_predecessor(uint64_t key) const;
+
+  // Smallest key' > key.
+  std::optional<uint64_t> successor(uint64_t key) const;
+
+  // Smallest / largest key currently present.
+  std::optional<uint64_t> min_key() const;
+  std::optional<uint64_t> max_key_present() const;
+
+  // Visit every key in [lo, hi] in ascending order.  Weakly consistent
+  // under concurrency (like java.util.concurrent iterators): keys inserted
+  // or removed during the traversal may or may not be observed, but every
+  // key reported was present at some point during the call, in order.
+  template <typename F>
+  void for_each_in_range(uint64_t lo, uint64_t hi, F f) const {
+    if (lo > hi) return;
+    EbrDomain::Guard g(ebr_);
+    const uint64_t xlo = ikey_of(lo);
+    const SkipListEngine::Bracket b = engine_.descend(xlo, start_for(lo, xlo));
+    const uint64_t xhi = ikey_of(hi);
+    for (Node* n = b.right; n != nullptr && n->kind() == NodeKind::kInterior &&
+                            n->ikey() <= xhi;
+         n = unpack_ptr<Node>(without_tags(dcss_read(n->next)))) {
+      if (!is_marked(dcss_read(n->next))) f(n->ikey() - 1);
+    }
+  }
+
+  // Number of keys in [lo, hi] (by traversal; weakly consistent).
+  size_t count_range(uint64_t lo, uint64_t hi) const {
+    size_t n = 0;
+    for_each_in_range(lo, hi, [&n](uint64_t) { ++n; });
+    return n;
+  }
+
+  // Approximate under concurrency; exact when quiescent.
+  size_t size() const;
+
+  uint32_t universe_bits() const { return cfg_.universe_bits; }
+  uint64_t max_key() const;
+
+  // --- Introspection for tests and benchmarks ---
+  struct StructureStats {
+    size_t keys = 0;              // interior nodes at level 0
+    size_t level_counts[SkipListEngine::kMaxLevels + 1] = {};
+    size_t top_count = 0;         // nodes at the top level
+    size_t trie_entries = 0;      // prefix hash entries
+    double avg_top_gap = 0.0;     // mean #keys strictly between top nodes
+    size_t max_top_gap = 0;
+    size_t arena_bytes = 0;
+    size_t trie_bytes = 0;
+  };
+  // Quiescent-only walk of the structure.
+  StructureStats structure_stats() const;
+
+  // Internal components, exposed for white-box tests and benchmarks.
+  SkipListEngine& engine() { return engine_; }
+  const SkipListEngine& engine() const { return engine_; }
+  XFastTrie& trie() { return trie_; }
+  const XFastTrie& trie() const { return trie_; }
+  EbrDomain& ebr() const { return ebr_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  uint64_t ikey_of(uint64_t key) const { return key + 1; }
+  // Trie-accelerated start node with ikey < x for a search keyed by `key`.
+  Node* start_for(uint64_t key, uint64_t x) const {
+    return trie_.pred_start(key, x);
+  }
+
+  Config cfg_;
+  // Destruction order (reverse of declaration) matters: ebr_ must drain its
+  // poison-and-recycle callbacks while arena_ is still alive, so arena_ is
+  // declared first (destroyed last).
+  mutable SlabArena arena_;
+  mutable EbrDomain ebr_;
+  DcssContext ctx_;
+  mutable SkipListEngine engine_;
+  mutable XFastTrie trie_;
+  std::atomic<int64_t> size_{0};
+};
+
+}  // namespace skiptrie

@@ -1,0 +1,27 @@
+// Structural validation (white-box invariants for tests).
+//
+// All checks require quiescence (no concurrent mutators); they walk raw
+// chains and the prefix table and report human-readable violations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/skiptrie.h"
+
+namespace skiptrie {
+
+// Returns an empty vector when every invariant holds:
+//  - every level list is strictly sorted by ikey and ends at the tail;
+//  - every node at level l > 0 sits on a tower whose nodes share ikey/root
+//    and whose root is present at level 0;
+//  - every unmarked top-level node appears exactly once at the top level,
+//    and its prev pointer (if set) names a node with a strictly smaller key;
+//  - every trie child pointer either is null or points at a top-level node
+//    whose key extends the prefix, and such a node is live;
+//  - every key that reached the top level has its full prefix path in the
+//    trie pointing to a covering node (coverage: pointers[0] >= key,
+//    pointers[1] <= key within the prefix's subtree).
+std::vector<std::string> validate_structure(const SkipTrie& t);
+
+}  // namespace skiptrie

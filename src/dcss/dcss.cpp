@@ -1,0 +1,139 @@
+#include "dcss/dcss.h"
+
+#include <cassert>
+
+#include "common/stats.h"
+
+namespace skiptrie {
+
+namespace {
+
+enum Outcome : uint32_t { kUndecided = 0, kSuccess = 1, kFail = 2 };
+
+struct alignas(16) Descriptor {
+  std::atomic<uint64_t>* target;
+  uint64_t expected;
+  uint64_t desired;
+  std::atomic<uint64_t>* guard;
+  uint64_t guard_expected;
+  std::atomic<uint32_t> outcome{kUndecided};
+};
+
+// Logical value of a word that may hold a descriptor: read through without
+// helping (linearizes the read at the moment the outcome was loaded).
+uint64_t read_through(uint64_t w) {
+  while (is_desc(w)) {
+    auto* d = unpack_ptr<Descriptor>(w);
+    const uint32_t out = d->outcome.load(std::memory_order_acquire);
+    w = (out == kSuccess) ? d->desired : d->expected;
+  }
+  return w;
+}
+
+// Complete an installed descriptor: decide, then uninstall.  Idempotent and
+// safe to run from any thread (helpers), as long as the caller is pinned so
+// the descriptor memory is live.
+void help(Descriptor* d) {
+  uint32_t out = d->outcome.load(std::memory_order_acquire);
+  if (out == kUndecided) {
+    const uint64_t g = read_through(d->guard->load(std::memory_order_seq_cst));
+    const uint32_t decided = (g == d->guard_expected) ? kSuccess : kFail;
+    uint32_t expect = kUndecided;
+    d->outcome.compare_exchange_strong(expect, decided,
+                                       std::memory_order_acq_rel);
+    out = d->outcome.load(std::memory_order_acquire);
+  }
+  const uint64_t installed = pack_ptr(d, kDesc);
+  const uint64_t final_value = (out == kSuccess) ? d->desired : d->expected;
+  uint64_t expect = installed;
+  d->target->compare_exchange_strong(expect, final_value,
+                                     std::memory_order_seq_cst);
+}
+
+}  // namespace
+
+uint64_t dcss_read(const std::atomic<uint64_t>& word) {
+  for (;;) {
+    const uint64_t w = word.load(std::memory_order_seq_cst);
+    if (!is_desc(w)) return w;
+    tls_counters().dcss_helps++;
+    help(unpack_ptr<Descriptor>(w));
+  }
+}
+
+bool counted_cas(std::atomic<uint64_t>& word, uint64_t expected,
+                 uint64_t desired) {
+  auto& c = tls_counters();
+  c.cas_attempts++;
+  uint64_t e = expected;
+  if (word.compare_exchange_strong(e, desired, std::memory_order_seq_cst)) {
+    return true;
+  }
+  c.cas_failures++;
+  return false;
+}
+
+DcssResult dcss(const DcssContext& ctx, std::atomic<uint64_t>& target,
+                uint64_t expected, uint64_t desired,
+                std::atomic<uint64_t>& guard, uint64_t guard_expected) {
+  // All DCSS-word values are tagged pointer words: bit 1 (kDesc) is
+  // reserved for descriptors and must never appear in caller values.
+  assert(!is_desc(expected) && !is_desc(desired) && !is_desc(guard_expected));
+  auto& c = tls_counters();
+  DcssResult r;
+
+  if (ctx.mode == DcssMode::kCasFallback) {
+    // The paper's fallback: drop the second guard, plain CAS.  Linearizable
+    // and lock-free, but pointer swings onto freshly-marked nodes become
+    // possible (they are repaired by later traversals).
+    c.cas_attempts++;
+    uint64_t e = expected;
+    if (target.compare_exchange_strong(e, desired,
+                                       std::memory_order_seq_cst)) {
+      r.success = true;
+      r.witness = expected;
+      return r;
+    }
+    c.cas_failures++;
+    r.witness = read_through(e);
+    return r;
+  }
+
+  c.dcss_attempts++;
+  auto* d = new Descriptor();
+  d->target = &target;
+  d->expected = expected;
+  d->desired = desired;
+  d->guard = &guard;
+  d->guard_expected = guard_expected;
+
+  const uint64_t installed = pack_ptr(d, kDesc);
+  for (;;) {
+    uint64_t e = expected;
+    if (target.compare_exchange_strong(e, installed,
+                                       std::memory_order_seq_cst)) {
+      break;
+    }
+    if (is_desc(e)) {
+      // Someone else's descriptor occupies the word: help it, then retry.
+      c.dcss_helps++;
+      help(unpack_ptr<Descriptor>(e));
+      continue;
+    }
+    // Genuine value mismatch.
+    delete d;  // never published, safe to free immediately
+    r.witness = e;
+    return r;
+  }
+
+  help(d);
+  const bool ok = d->outcome.load(std::memory_order_acquire) == kSuccess;
+  r.success = ok;
+  r.guard_failed = !ok;
+  r.witness = expected;
+  if (!ok) c.dcss_guard_fails++;
+  ctx.ebr->retire_delete(d);
+  return r;
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,76 @@
+// Software DCSS (double-compare single-swap) built from CAS.
+//
+// The paper (§1, "On the choice of atomic primitives") uses
+//   DCSS(X, old_X, new_X, Y, old_Y):  X <- new_X  iff  X == old_X && Y == old_Y
+// to avoid swinging list/trie pointers onto nodes that are already marked for
+// deletion: Y is a "guard" word (typically a node's next/prev/stop word) that
+// is only compared, never written.
+//
+// No mainstream ISA exposes DCSS, so we implement the classic descriptor
+// construction (Harris, Fraser & Pratt, "A practical multi-word
+// compare-and-swap", DISC 2002):
+//
+//   1. install: CAS the target word from `expected` to a tagged descriptor
+//      pointer (tag bit kDesc).
+//   2. decide:  read the guard word; CAS the descriptor's `outcome` from
+//      UNDECIDED to SUCCESS/FAIL (all helpers agree via this CAS).
+//   3. uninstall: CAS the target from the descriptor back to `desired`
+//      (on success) or `expected` (on failure).
+//
+// Readers of DCSS-capable words go through dcss_read(), which helps complete
+// any installed descriptor, so the logical value of a word is always defined
+// and the construction is lock-free.
+//
+// Guard words may themselves be DCSS targets (the paper guards on `next`
+// words that other operations DCSS).  Unlike the original RDCSS we do not
+// forbid this; instead guard evaluation *reads through* an installed
+// descriptor: while a descriptor is installed and undecided the word's
+// logical value is its `expected`, afterwards it is `desired`/`expected`
+// according to the outcome.  Reading through is linearizable and needs no
+// recursion, so mutual helping cycles cannot arise.
+//
+// The paper proves the SkipTrie remains linearizable and lock-free when DCSS
+// is replaced by plain CAS (dropping the guard).  DcssMode::kCasFallback
+// selects exactly that, and is used by the A1 ablation benchmark.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/marked_ptr.h"
+#include "reclaim/ebr.h"
+
+namespace skiptrie {
+
+enum class DcssMode : uint8_t {
+  kDcss,         // full descriptor-based DCSS
+  kCasFallback,  // plain CAS; guard ignored (paper's fallback)
+};
+
+struct DcssContext {
+  EbrDomain* ebr;
+  DcssMode mode = DcssMode::kDcss;
+};
+
+struct DcssResult {
+  bool success = false;
+  bool guard_failed = false;  // failed because the guard word mismatched
+  uint64_t witness = 0;       // target's logical value observed on failure
+};
+
+// Perform DCSS on `target`.  expected/desired must be untagged-with-kDesc
+// values (kMark is fine).  The calling thread must hold an EbrDomain::Guard
+// on ctx.ebr for the duration of the enclosing operation.
+DcssResult dcss(const DcssContext& ctx, std::atomic<uint64_t>& target,
+                uint64_t expected, uint64_t desired,
+                std::atomic<uint64_t>& guard, uint64_t guard_expected);
+
+// Read the logical value of a DCSS-capable word, helping any installed
+// descriptor to completion first.  Caller must be pinned.
+uint64_t dcss_read(const std::atomic<uint64_t>& word);
+
+// Plain structural CAS with step accounting (used where no guard is needed).
+bool counted_cas(std::atomic<uint64_t>& word, uint64_t expected,
+                 uint64_t desired);
+
+}  // namespace skiptrie

@@ -1,0 +1,311 @@
+#include "hash/split_ordered.h"
+
+#include <cassert>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace skiptrie {
+
+namespace {
+
+inline uint64_t reverse_bits(uint64_t v) {
+  v = ((v >> 1) & 0x5555555555555555ull) | ((v & 0x5555555555555555ull) << 1);
+  v = ((v >> 2) & 0x3333333333333333ull) | ((v & 0x3333333333333333ull) << 2);
+  v = ((v >> 4) & 0x0f0f0f0f0f0f0f0full) | ((v & 0x0f0f0f0f0f0f0f0full) << 4);
+  return __builtin_bswap64(v);
+}
+
+}  // namespace
+
+uint64_t SplitOrderedMap::hash_of(uint64_t key) { return mix64(key); }
+
+uint64_t SplitOrderedMap::regular_so_key(uint64_t key) {
+  // Reversed hash with the (now-) least significant bit forced to 1 so that
+  // regular nodes always sort after the dummy of their bucket.
+  return reverse_bits(hash_of(key)) | 1ull;
+}
+
+uint64_t SplitOrderedMap::dummy_so_key(uint64_t bucket) {
+  return reverse_bits(bucket);  // LSB clear: sorts before bucket's items
+}
+
+size_t SplitOrderedMap::parent_bucket(size_t bucket) {
+  assert(bucket > 0);
+  // Clear the most significant set bit: the bucket this one split from.
+  size_t msb = bucket;
+  msb |= msb >> 1; msb |= msb >> 2; msb |= msb >> 4;
+  msb |= msb >> 8; msb |= msb >> 16; msb |= msb >> 32;
+  return bucket & (msb >> 1);
+}
+
+SplitOrderedMap::SplitOrderedMap(DcssContext ctx, size_t max_buckets)
+    : ctx_(ctx), max_buckets_(max_buckets) {
+  for (auto& s : segments_) s.store(nullptr, std::memory_order_relaxed);
+  list_head_ = new HNode{0, 0, 0, {0}};
+  dummies_.fetch_add(1, std::memory_order_relaxed);
+  auto* seg = new BucketSlot[kSegSize];
+  for (size_t i = 0; i < kSegSize; ++i) seg[i].store(nullptr, std::memory_order_relaxed);
+  seg[0].store(list_head_, std::memory_order_relaxed);
+  segments_[0].store(seg, std::memory_order_release);
+}
+
+SplitOrderedMap::~SplitOrderedMap() {
+  // Single-threaded teardown: free every list node, then the directory.
+  HNode* n = list_head_;
+  while (n != nullptr) {
+    HNode* next = unpack_ptr<HNode>(n->next.load(std::memory_order_relaxed));
+    delete n;
+    n = next;
+  }
+  for (auto& s : segments_) {
+    delete[] s.load(std::memory_order_relaxed);
+  }
+}
+
+SplitOrderedMap::BucketSlot* SplitOrderedMap::slot_for(size_t bucket) const {
+  const size_t seg_idx = bucket >> kSegBits;
+  assert(seg_idx < kMaxSegments);
+  BucketSlot* seg = segments_[seg_idx].load(std::memory_order_acquire);
+  if (seg == nullptr) {
+    auto* fresh = new BucketSlot[kSegSize];
+    for (size_t i = 0; i < kSegSize; ++i)
+      fresh[i].store(nullptr, std::memory_order_relaxed);
+    BucketSlot* expect = nullptr;
+    if (segments_[seg_idx].compare_exchange_strong(
+            expect, fresh, std::memory_order_acq_rel)) {
+      seg = fresh;
+    } else {
+      delete[] fresh;
+      seg = expect;
+    }
+  }
+  return &seg[bucket & (kSegSize - 1)];
+}
+
+SplitOrderedMap::HNode* SplitOrderedMap::bucket_head(size_t bucket) {
+  BucketSlot* slot = slot_for(bucket);
+  HNode* head = slot->load(std::memory_order_acquire);
+  if (head != nullptr) return head;
+  return initialize_bucket(bucket);
+}
+
+SplitOrderedMap::HNode* SplitOrderedMap::initialize_bucket(size_t bucket) {
+  // Recursively make sure the parent's dummy exists, then splice this
+  // bucket's dummy into the list after it.
+  HNode* parent_head = bucket_head(parent_bucket(bucket));
+  const uint64_t so = dummy_so_key(bucket);
+
+  HNode* dummy = nullptr;
+  HNode* fresh = nullptr;
+  for (;;) {
+    FindResult fr = find(parent_head, so, 0, /*cleanup=*/true);
+    if (fr.curr != nullptr && fr.curr->so_key == so && fr.curr->key == 0) {
+      dummy = fr.curr;  // another thread already inserted it
+      break;
+    }
+    if (fresh == nullptr) {
+      fresh = new HNode{so, 0, 0, {0}};
+      dummies_.fetch_add(1, std::memory_order_relaxed);
+    }
+    fresh->next.store(pack_ptr(fr.curr), std::memory_order_relaxed);
+    if (counted_cas(*fr.prev, fr.curr_word, pack_ptr(fresh))) {
+      dummy = fresh;
+      fresh = nullptr;
+      break;
+    }
+  }
+  if (fresh != nullptr) {
+    dummies_.fetch_sub(1, std::memory_order_relaxed);
+    delete fresh;  // never published
+  }
+  BucketSlot* slot = slot_for(bucket);
+  HNode* expect = nullptr;
+  slot->compare_exchange_strong(expect, dummy, std::memory_order_acq_rel);
+  return slot->load(std::memory_order_acquire);
+}
+
+SplitOrderedMap::FindResult SplitOrderedMap::find(HNode* head, uint64_t so_key,
+                                                  uint64_t key,
+                                                  bool cleanup) const {
+  auto& c = tls_counters();
+retry:
+  std::atomic<uint64_t>* prev = &head->next;
+  uint64_t prev_word = dcss_read(*prev);
+  for (;;) {
+    HNode* curr = unpack_ptr<HNode>(prev_word);
+    if (curr == nullptr) {
+      return FindResult{prev, nullptr, prev_word};
+    }
+    c.hash_probes++;
+    uint64_t next_word = dcss_read(curr->next);
+    if (is_marked(next_word)) {
+      // curr is logically deleted.
+      if (cleanup) {
+        if (!counted_cas(*prev, prev_word, without_tags(next_word))) {
+          goto retry;  // neighborhood changed; restart from head
+        }
+        // The unlinking CAS winner owns reclamation: the CAS could only
+        // succeed because *prev was unmarked, i.e. curr was still on the
+        // live chain and is now off it.
+        ctx_.ebr->retire_delete(curr);
+        prev_word = without_tags(next_word);
+        continue;
+      }
+      // Read-only path: skip over it.  We keep `prev` where it is; only the
+      // `curr` chain advances.  (prev_word no longer matches *prev, but
+      // read-only callers never CAS.)
+      prev_word = pack_ptr(unpack_ptr<HNode>(next_word));
+      continue;
+    }
+    if (!node_less(curr->so_key, curr->key, so_key, key)) {
+      return FindResult{prev, curr, prev_word};
+    }
+    prev = &curr->next;
+    prev_word = next_word;
+  }
+}
+
+bool SplitOrderedMap::insert(uint64_t key, uint64_t value,
+                             std::atomic<uint64_t>* guard,
+                             uint64_t guard_expected, bool* guard_failed) {
+  EbrDomain::Guard g(*ctx_.ebr);
+  auto& c = tls_counters();
+  const uint64_t so = regular_so_key(key);
+  const size_t bucket =
+      hash_of(key) & (buckets_.load(std::memory_order_acquire) - 1);
+  HNode* head = bucket_head(bucket);
+
+  HNode* fresh = nullptr;
+  for (;;) {
+    FindResult fr = find(head, so, key, /*cleanup=*/true);
+    if (fr.curr != nullptr && fr.curr->so_key == so && fr.curr->key == key) {
+      if (fresh != nullptr) delete fresh;
+      return false;  // already present
+    }
+    if (fresh == nullptr) fresh = new HNode{so, key, value, {0}};
+    fresh->next.store(pack_ptr(fr.curr), std::memory_order_relaxed);
+    c.hash_updates++;
+    if (guard == nullptr) {
+      if (counted_cas(*fr.prev, fr.curr_word, pack_ptr(fresh))) break;
+    } else {
+      DcssResult r = dcss(ctx_, *fr.prev, fr.curr_word, pack_ptr(fresh),
+                          *guard, guard_expected);
+      if (r.success) break;
+      if (r.guard_failed) {
+        if (guard_failed != nullptr) *guard_failed = true;
+        delete fresh;
+        return false;
+      }
+    }
+    // Link CAS failed: retry the search.
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  maybe_grow();
+  return true;
+}
+
+std::optional<uint64_t> SplitOrderedMap::lookup(uint64_t key) const {
+  EbrDomain::Guard g(*ctx_.ebr);
+  const uint64_t so = regular_so_key(key);
+  const size_t bucket =
+      hash_of(key) & (buckets_.load(std::memory_order_acquire) - 1);
+  // Read-only: do not initialize buckets; walk from the nearest initialized
+  // ancestor instead.
+  size_t b = bucket;
+  HNode* head = nullptr;
+  for (;;) {
+    BucketSlot* slot = slot_for(b);
+    head = slot->load(std::memory_order_acquire);
+    if (head != nullptr) break;
+    if (b == 0) {
+      head = list_head_;
+      break;
+    }
+    b = parent_bucket(b);
+  }
+  FindResult fr = find(head, so, key, /*cleanup=*/false);
+  if (fr.curr != nullptr && fr.curr->so_key == so && fr.curr->key == key) {
+    return fr.curr->value;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> SplitOrderedMap::erase(uint64_t key) {
+  EbrDomain::Guard g(*ctx_.ebr);
+  auto& c = tls_counters();
+  const uint64_t so = regular_so_key(key);
+  const size_t bucket =
+      hash_of(key) & (buckets_.load(std::memory_order_acquire) - 1);
+  HNode* head = bucket_head(bucket);
+  for (;;) {
+    FindResult fr = find(head, so, key, /*cleanup=*/true);
+    if (fr.curr == nullptr || fr.curr->so_key != so || fr.curr->key != key) {
+      return std::nullopt;
+    }
+    const uint64_t next_word = dcss_read(fr.curr->next);
+    if (is_marked(next_word)) continue;  // racing delete; re-find
+    c.hash_updates++;
+    if (!counted_cas(fr.curr->next, next_word, with_mark(next_word))) {
+      continue;  // lost the mark race or next changed; re-find
+    }
+    const uint64_t value = fr.curr->value;
+    // Physical unlink; on failure a later find() cleans up.
+    if (counted_cas(*fr.prev, fr.curr_word, without_tags(next_word))) {
+      ctx_.ebr->retire_delete(fr.curr);
+    }
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    return value;
+  }
+}
+
+bool SplitOrderedMap::compare_and_delete(uint64_t key,
+                                         uint64_t expected_value) {
+  EbrDomain::Guard g(*ctx_.ebr);
+  auto& c = tls_counters();
+  const uint64_t so = regular_so_key(key);
+  const size_t bucket =
+      hash_of(key) & (buckets_.load(std::memory_order_acquire) - 1);
+  HNode* head = bucket_head(bucket);
+  for (;;) {
+    FindResult fr = find(head, so, key, /*cleanup=*/true);
+    if (fr.curr == nullptr || fr.curr->so_key != so || fr.curr->key != key) {
+      return false;
+    }
+    if (fr.curr->value != expected_value) return false;  // value is immutable
+    const uint64_t next_word = dcss_read(fr.curr->next);
+    if (is_marked(next_word)) return false;  // someone else deleted it
+    c.hash_updates++;
+    if (!counted_cas(fr.curr->next, next_word, with_mark(next_word))) {
+      continue;
+    }
+    if (counted_cas(*fr.prev, fr.curr_word, without_tags(next_word))) {
+      ctx_.ebr->retire_delete(fr.curr);
+    }
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+void SplitOrderedMap::maybe_grow() {
+  const size_t buckets = buckets_.load(std::memory_order_acquire);
+  if (buckets >= max_buckets_) return;
+  if (count_.load(std::memory_order_relaxed) > buckets * kLoadFactor) {
+    size_t expect = buckets;
+    buckets_.compare_exchange_strong(expect, buckets * 2,
+                                     std::memory_order_acq_rel);
+  }
+}
+
+size_t SplitOrderedMap::approx_bytes() const {
+  size_t segs = 0;
+  for (const auto& s : segments_) {
+    if (s.load(std::memory_order_relaxed) != nullptr) segs++;
+  }
+  return (count_.load(std::memory_order_relaxed) +
+          dummies_.load(std::memory_order_relaxed)) *
+             sizeof(HNode) +
+         segs * kSegSize * sizeof(BucketSlot);
+}
+
+}  // namespace skiptrie

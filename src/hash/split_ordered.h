@@ -1,0 +1,129 @@
+// Split-ordered lock-free resizable hash table (Shalev & Shavit, 2003).
+//
+// The SkipTrie stores its x-fast-trie prefix nodes in this table (paper §1,
+// §4 "The hash table").  The construction: one lock-free ordered linked list
+// holds all items, sorted by the *split-order* key — the bit reversal of the
+// item's hash (regular items get the LSB set, bucket dummies keep it clear).
+// A lazily-initialized directory of bucket heads points at dummy nodes inside
+// the list; doubling the bucket count never moves items ("recursive split
+// ordering"), it only adds new dummies, so resizing is lock-free.
+//
+// Beyond the classic interface we provide:
+//  - compareAndDelete(key, expected_value): remove the entry iff it currently
+//    maps to expected_value (required by the paper, §4 "The hash table").
+//  - insert(..., guard): the linking CAS is performed as a DCSS conditioned
+//    on an external guard word (DESIGN.md §3.5(1) — used so a trie entry can
+//    never be installed pointing at a marked skiplist node).
+//
+// Keys and values are uint64_t; the trie stores encoded prefixes and
+// TreeNode pointers.  Values are immutable per entry.  All operations are
+// lock-free and internally pin the EBR domain (reentrant with callers' pins).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "dcss/dcss.h"
+#include "reclaim/ebr.h"
+
+namespace skiptrie {
+
+class SplitOrderedMap {
+ public:
+  struct HNode {
+    uint64_t so_key;              // split-order key (reversed hash | lsb)
+    uint64_t key;                 // user key (0 for dummies)
+    uint64_t value;               // user value (immutable)
+    std::atomic<uint64_t> next;   // tagged word: HNode* | kMark | kDesc
+  };
+
+  // ctx.ebr is used both for node reclamation and DCSS descriptors.
+  explicit SplitOrderedMap(DcssContext ctx, size_t max_buckets = 1u << 20);
+  ~SplitOrderedMap();
+
+  SplitOrderedMap(const SplitOrderedMap&) = delete;
+  SplitOrderedMap& operator=(const SplitOrderedMap&) = delete;
+
+  // Insert key -> value.  Returns false if key is already present.
+  // When guard != nullptr the linking CAS becomes
+  //   DCSS(link, expected, new_node, *guard, guard_expected)
+  // and the insert fails (returns false, *guard_failed=true if non-null)
+  // when the guard word no longer holds guard_expected.
+  bool insert(uint64_t key, uint64_t value,
+              std::atomic<uint64_t>* guard = nullptr,
+              uint64_t guard_expected = 0, bool* guard_failed = nullptr);
+
+  // Read-only lookup; never writes to shared memory (paper §1, choice (2):
+  // searches do not eagerly help).
+  std::optional<uint64_t> lookup(uint64_t key) const;
+
+  // Remove key unconditionally.  Returns the removed value if any.
+  std::optional<uint64_t> erase(uint64_t key);
+
+  // Remove key iff it currently maps to expected_value (paper's
+  // compareAndDelete(p, n)).
+  bool compare_and_delete(uint64_t key, uint64_t expected_value);
+
+  size_t size() const { return count_.load(std::memory_order_relaxed); }
+  size_t bucket_count() const { return buckets_.load(std::memory_order_relaxed); }
+
+  // Bytes consumed by nodes + directory (space accounting for benches).
+  size_t approx_bytes() const;
+
+  // Visit every live (unmarked, regular) entry.  NOT a linearizable
+  // snapshot; intended for quiescent teardown and validation.
+  template <typename F>
+  void for_each(F f) const {
+    const HNode* n = list_head_;
+    while (n != nullptr) {
+      const uint64_t w = n->next.load(std::memory_order_acquire);
+      if ((n->so_key & 1ull) != 0 && !is_marked(w)) f(n->key, n->value);
+      n = unpack_ptr<HNode>(w);
+    }
+  }
+
+ private:
+  static constexpr size_t kSegBits = 10;
+  static constexpr size_t kSegSize = 1ull << kSegBits;
+  static constexpr size_t kMaxSegments = 1ull << 12;
+  static constexpr size_t kLoadFactor = 2;  // items per bucket before doubling
+
+  using BucketSlot = std::atomic<HNode*>;
+
+  struct FindResult {
+    std::atomic<uint64_t>* prev;  // word holding the link to curr
+    HNode* curr;                  // first node with (so_key,key) >= target
+    uint64_t curr_word;           // link value observed in *prev
+  };
+
+  static uint64_t hash_of(uint64_t key);
+  static uint64_t regular_so_key(uint64_t key);
+  static uint64_t dummy_so_key(uint64_t bucket);
+  static bool node_less(uint64_t a_so, uint64_t a_key, uint64_t b_so,
+                        uint64_t b_key) {
+    return a_so < b_so || (a_so == b_so && a_key < b_key);
+  }
+
+  BucketSlot* slot_for(size_t bucket) const;
+  HNode* bucket_head(size_t bucket);          // initializes lazily
+  HNode* initialize_bucket(size_t bucket);
+  static size_t parent_bucket(size_t bucket);
+
+  // Harris-style search in the list starting at `head` for (so_key,key);
+  // unlinks marked nodes it passes (cleanup=true) or skips them (false).
+  FindResult find(HNode* head, uint64_t so_key, uint64_t key,
+                  bool cleanup) const;
+
+  void maybe_grow();
+
+  DcssContext ctx_;
+  const size_t max_buckets_;
+  std::atomic<size_t> buckets_{2};
+  std::atomic<size_t> count_{0};
+  std::atomic<size_t> dummies_{0};
+  mutable std::atomic<BucketSlot*> segments_[kMaxSegments];
+  HNode* list_head_;  // dummy of bucket 0, so_key 0
+};
+
+}  // namespace skiptrie

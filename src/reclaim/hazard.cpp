@@ -1,0 +1,137 @@
+#include "reclaim/hazard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <mutex>
+
+namespace skiptrie {
+
+HazardDomain::ThreadState::~ThreadState() {
+  if (domain != nullptr) domain->release(this);
+}
+
+HazardDomain::~HazardDomain() {
+  std::vector<ThreadState*> to_detach;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    to_detach = registered_;
+    registered_.clear();
+  }
+  // No thread may be actively using the domain during destruction; every
+  // retired object is therefore reclaimable.
+  for (auto* s : to_detach) {
+    for (auto& r : s->retired) r.fn(r.ptr, r.ctx);
+    s->retired.clear();
+    s->domain = nullptr;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& r : orphans_) r.fn(r.ptr, r.ctx);
+  orphans_.clear();
+}
+
+HazardDomain::ThreadState* HazardDomain::thread_state() {
+  thread_local std::vector<std::unique_ptr<ThreadState>> tls;
+  for (auto& s : tls) {
+    if (s->domain == this) return s.get();
+  }
+  auto s = std::make_unique<ThreadState>();
+  s->domain = this;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_threads_init_) {
+      for (uint32_t i = kMaxThreads; i > 0; --i) free_threads_.push_back(i - 1);
+      free_threads_init_ = true;
+    }
+    assert(!free_threads_.empty() && "too many threads for HazardDomain");
+    const uint32_t tid = free_threads_.back();
+    free_threads_.pop_back();
+    s->base_slot = tid * kSlotsPerThread;
+    registered_.push_back(s.get());
+    uint32_t wm = thread_watermark_.load(std::memory_order_relaxed);
+    if (wm < tid + 1) thread_watermark_.store(tid + 1, std::memory_order_relaxed);
+  }
+  tls.push_back(std::move(s));
+  return tls.back().get();
+}
+
+void HazardDomain::release(ThreadState* ts) {
+  for (uint32_t i = 0; i < kSlotsPerThread; ++i) {
+    hazards_[ts->base_slot + i].value.store(nullptr, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& r : ts->retired) orphans_.push_back(r);
+  ts->retired.clear();
+  free_threads_.push_back(ts->base_slot / kSlotsPerThread);
+  std::erase(registered_, ts);
+}
+
+void HazardDomain::set(uint32_t slot, const void* p) {
+  auto* ts = thread_state();
+  assert(slot < kSlotsPerThread);
+  hazards_[ts->base_slot + slot].value.store(p, std::memory_order_seq_cst);
+}
+
+void HazardDomain::clear(uint32_t slot) {
+  auto* ts = thread_state();
+  assert(slot < kSlotsPerThread);
+  hazards_[ts->base_slot + slot].value.store(nullptr,
+                                             std::memory_order_release);
+}
+
+void HazardDomain::clear_all() {
+  auto* ts = thread_state();
+  for (uint32_t i = 0; i < kSlotsPerThread; ++i) {
+    hazards_[ts->base_slot + i].value.store(nullptr,
+                                            std::memory_order_release);
+  }
+}
+
+void HazardDomain::retire(void* ptr, void (*fn)(void*, void*), void* ctx) {
+  auto* ts = thread_state();
+  ts->retired.push_back(Retired{ptr, fn, ctx});
+  if (ts->retired.size() >= kScanThreshold) scan(ts);
+}
+
+void HazardDomain::scan() { scan(thread_state()); }
+
+void HazardDomain::scan(ThreadState* ts) {
+  // Snapshot all published hazards, then reclaim retired pointers that are
+  // not protected.
+  std::vector<const void*> protected_ptrs;
+  const uint32_t wm = thread_watermark_.load(std::memory_order_acquire);
+  protected_ptrs.reserve(wm * kSlotsPerThread);
+  for (uint32_t i = 0; i < wm * kSlotsPerThread; ++i) {
+    const void* p = hazards_[i].value.load(std::memory_order_seq_cst);
+    if (p != nullptr) protected_ptrs.push_back(p);
+  }
+  std::sort(protected_ptrs.begin(), protected_ptrs.end());
+  auto is_protected = [&](void* p) {
+    return std::binary_search(protected_ptrs.begin(), protected_ptrs.end(),
+                              static_cast<const void*>(p));
+  };
+  size_t kept = 0;
+  for (size_t i = 0; i < ts->retired.size(); ++i) {
+    if (is_protected(ts->retired[i].ptr)) {
+      ts->retired[kept++] = ts->retired[i];
+    } else {
+      ts->retired[i].fn(ts->retired[i].ptr, ts->retired[i].ctx);
+    }
+  }
+  ts->retired.resize(kept);
+  // Adopt orphans from exited threads while we're at it.
+  std::vector<Retired> adopted;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    adopted.swap(orphans_);
+  }
+  for (auto& r : adopted) {
+    if (is_protected(r.ptr)) {
+      ts->retired.push_back(r);
+    } else {
+      r.fn(r.ptr, r.ctx);
+    }
+  }
+}
+
+}  // namespace skiptrie

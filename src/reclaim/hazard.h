@@ -1,0 +1,90 @@
+// Hazard-pointer reclamation domain (Michael 2004).
+//
+// Provided as the alternative safe-memory-reclamation substrate alongside
+// EBR.  The SkipTrie itself uses EBR + the type-stable arena (guide pointers
+// make per-pointer protection awkward, see DESIGN.md §3.3), but hazard
+// pointers are the scheme the reproduction-calibration notes call out, and
+// they are the right tool for pointer-at-a-time structures such as the
+// split-ordered hash table when used standalone.  Fully implemented and
+// tested; usable by downstream code via the public header.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/cacheline.h"
+
+namespace skiptrie {
+
+class HazardDomain {
+ public:
+  static constexpr uint32_t kMaxThreads = 192;
+  static constexpr uint32_t kSlotsPerThread = 4;
+  static constexpr size_t kScanThreshold = 64;
+
+  HazardDomain() = default;
+  ~HazardDomain();
+
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  // Protect a pointer loaded from `src`: publishes the value in a hazard
+  // slot and re-reads until the publication is consistent with the source.
+  // Returns the protected value.
+  template <typename T>
+  T* protect(uint32_t slot, const std::atomic<T*>& src) {
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      set(slot, p);
+      T* q = src.load(std::memory_order_acquire);
+      if (q == p) return p;
+      p = q;
+    }
+  }
+
+  // Publish a raw pointer value in a hazard slot (caller validates).
+  void set(uint32_t slot, const void* p);
+  void clear(uint32_t slot);
+  void clear_all();
+
+  // Defer deletion of `ptr` until no hazard slot holds it.
+  void retire(void* ptr, void (*fn)(void*, void*), void* ctx);
+
+  template <typename T>
+  void retire_delete(T* ptr) {
+    retire(
+        ptr, [](void* p, void*) { delete static_cast<T*>(p); }, nullptr);
+  }
+
+  // Reclaim whatever is reclaimable now (test hook / destructor path).
+  void scan();
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*fn)(void*, void*);
+    void* ctx;
+  };
+  struct ThreadState {
+    HazardDomain* domain = nullptr;
+    uint32_t base_slot = 0;  // first of kSlotsPerThread slots
+    std::vector<Retired> retired;
+    ~ThreadState();
+  };
+
+  ThreadState* thread_state();
+  void scan(ThreadState* ts);
+  void release(ThreadState* ts);
+
+  Padded<std::atomic<const void*>> hazards_[kMaxThreads * kSlotsPerThread];
+  std::atomic<uint32_t> thread_watermark_{0};
+  std::mutex mu_;  // slot assignment + orphans + registry
+  std::vector<uint32_t> free_threads_;
+  std::vector<ThreadState*> registered_;
+  std::vector<Retired> orphans_;
+  bool free_threads_init_ = false;
+};
+
+}  // namespace skiptrie

@@ -1,0 +1,418 @@
+#include "skiplist/engine.h"
+
+#include <cassert>
+#include <new>
+
+#include "common/stats.h"
+
+namespace skiptrie {
+
+namespace {
+// Guide walks (back/prev chains) are bounded before falling back to the
+// level head; the bound only matters when stale guides loop through recycled
+// storage, which validation makes rare.
+constexpr uint32_t kWalkLimit = 4096;
+// fixPrev retry bound: each retry implies a concurrent operation changed the
+// neighborhood, so a bounded loop preserves lock-freedom; on exhaustion the
+// prev pointer simply stays stale (it is a guide, repaired by later ops).
+constexpr int kFixPrevRetries = 128;
+// Bound on equal-key runs scanned when locating a tower node.
+constexpr uint32_t kEqualRunLimit = 64;
+
+enum class RaiseStatus { kOk, kStoppedUnpublished, kStoppedPublished };
+}  // namespace
+
+SkipListEngine::SkipListEngine(DcssContext ctx, SlabArena& arena,
+                               uint32_t top_level)
+    : ctx_(ctx), arena_(arena), top_(top_level) {
+  assert(top_ >= 1 && top_ <= kMaxLevels);
+  assert(arena_.block_size() >= sizeof(Node));
+  bool fresh = false;
+  tail_ = new (arena_.allocate(&fresh)) Node();
+  tail_->init(UINT64_MAX, 0xfe, 0, NodeKind::kTail, nullptr, nullptr);
+  for (uint32_t l = 0; l <= top_; ++l) {
+    head_[l] = new (arena_.allocate(&fresh)) Node();
+    head_[l]->init(0, l, top_, NodeKind::kHead,
+                   l > 0 ? head_[l - 1] : nullptr, nullptr);
+    head_[l]->next.store(pack_ptr(tail_), std::memory_order_release);
+  }
+}
+
+SkipListEngine::~SkipListEngine() = default;  // arena owns all node storage
+
+Node* SkipListEngine::make_node(uint64_t ikey, uint32_t level,
+                                uint32_t orig_height, Node* down, Node* root) {
+  bool fresh = false;
+  void* storage = arena_.allocate(&fresh);
+  // Recycled blocks still hold a live (poisoned) Node — re-initialize in
+  // place; only brand-new storage gets placement-new (DESIGN.md §3.3).
+  Node* n = fresh ? new (storage) Node() : static_cast<Node*>(storage);
+  n->init(ikey, level, orig_height, NodeKind::kInterior, down, root);
+  return n;
+}
+
+void SkipListEngine::retire_node(Node* n) {
+  tls_counters().retired_nodes++;
+  ctx_.ebr->retire(
+      n,
+      +[](void* p, void* a) {
+        auto* node = static_cast<Node*>(p);
+        node->poison();
+        static_cast<SlabArena*>(a)->recycle(node);
+      },
+      &arena_);
+}
+
+void SkipListEngine::retire_owned(const EraseResult& r) {
+  for (uint32_t i = 0; i < r.owned_count; ++i) retire_node(r.owned[i]);
+}
+
+bool SkipListEngine::usable_start(Node* n, uint64_t x, uint32_t level) const {
+  if (n == nullptr) return false;
+  const NodeKind k = n->kind();
+  if (k != NodeKind::kInterior && k != NodeKind::kHead) return false;
+  if (n->level() != level) return false;
+  return n->ikey() < x;
+}
+
+SkipListEngine::Bracket SkipListEngine::list_search(uint64_t x, Node* start,
+                                                    uint32_t level) {
+  assert(level <= top_);
+  auto& c = tls_counters();
+  Node* left = start;
+  for (;;) {
+    if (!usable_start(left, x, level)) {
+      c.restarts++;
+      left = head_[level];
+    }
+    Node* pred = left;
+    const uint64_t pred_word = dcss_read(pred->next);
+    if (is_marked(pred_word)) {
+      // Our anchor got marked: recover through its back pointer (validated
+      // at the top of the loop; falls back to the head if the guide is
+      // stale or poisoned).
+      c.back_steps++;
+      left = pred->back.load(std::memory_order_acquire);
+      continue;
+    }
+    Node* curr = unpack_ptr<Node>(pred_word);
+    bool restart = false;
+    while (!restart) {
+      if (curr == nullptr) {  // defensive: only poisoned chains end in null
+        restart = true;
+        break;
+      }
+      c.node_hops++;
+      const uint64_t curr_word = dcss_read(curr->next);
+      if (is_marked(curr_word)) {
+        // curr is logically deleted: unlink it from pred.  The CAS can only
+        // succeed while pred is unmarked (the mark would change the word),
+        // which is exactly what makes the unlink safe.
+        if (!counted_cas(pred->next, pack_ptr(curr),
+                         without_tags(curr_word))) {
+          left = pred;  // neighborhood changed; revalidate from pred
+          restart = true;
+          break;
+        }
+        curr = unpack_ptr<Node>(without_tags(curr_word));
+        continue;
+      }
+      if (curr->ikey() >= x) {
+        return Bracket{pred, curr};
+      }
+      pred = curr;
+      curr = unpack_ptr<Node>(curr_word);
+    }
+  }
+}
+
+SkipListEngine::Bracket SkipListEngine::descend(uint64_t x, Node* start,
+                                                Node** hints) {
+  if (hints != nullptr) {
+    for (uint32_t l = 0; l <= top_; ++l) hints[l] = head_[l];
+  }
+  Node* cur = start;
+  uint32_t lvl;
+  if (cur != nullptr && cur->level() <= top_ && cur->ikey() < x &&
+      (cur->kind() == NodeKind::kInterior || cur->kind() == NodeKind::kHead)) {
+    lvl = cur->level();
+  } else {
+    tls_counters().restarts++;
+    cur = head_[top_];
+    lvl = top_;
+  }
+  for (;;) {
+    Bracket b = list_search(x, cur, lvl);
+    if (hints != nullptr) hints[lvl] = b.left;
+    if (lvl == 0) return b;
+    --lvl;
+    cur = b.left->kind() == NodeKind::kHead ? head_[lvl] : b.left->down();
+    if (cur == nullptr) cur = head_[lvl];  // defensive
+  }
+}
+
+bool SkipListEngine::mark_node(Node* n, Node* back_hint) {
+  for (;;) {
+    const uint64_t w = dcss_read(n->next);
+    if (is_marked(w)) return false;
+    if (back_hint != nullptr) {
+      n->back.store(back_hint, std::memory_order_release);
+    }
+    if (counted_cas(n->next, w, with_mark(w))) return true;
+  }
+}
+
+void SkipListEngine::set_prev_mark(Node* n) {
+  for (;;) {
+    const uint64_t pv = dcss_read(n->prevw);
+    if (is_marked(pv)) return;
+    if (counted_cas(n->prevw, pv, with_mark(pv))) return;
+  }
+}
+
+void SkipListEngine::fix_prev(Node* hint, Node* node) {
+  // Algorithm 1, with ready set on every exit path (DESIGN.md §3.5(2)).
+  const uint64_t x = node->ikey();
+  Bracket b = list_search(x, hint, top_);
+  for (int i = 0; i < kFixPrevRetries; ++i) {
+    if (is_marked(dcss_read(node->next))) break;  // node being deleted
+    const uint64_t pv = dcss_read(node->prevw);
+    if (is_marked(pv)) break;
+    if (unpack_ptr<Node>(pv) == b.left) break;  // already correct
+    // Install left as node's prev, guarded on left being unmarked and
+    // adjacent (left.next == node): the paper's DCSS(node.prev, pv, left,
+    // left.succ, (node, 0)).
+    const DcssResult r = dcss(ctx_, node->prevw, pv, pack_ptr(b.left),
+                              b.left->next, pack_ptr(node));
+    if (r.success) break;
+    if (r.guard_failed) {
+      b = list_search(x, b.left, top_);
+    }
+    // On witness mismatch the loop re-reads prevw.
+  }
+  node->ready.store(1, std::memory_order_release);
+}
+
+void SkipListEngine::make_done(Node* left, Node* right) {
+  // Alg. 7's makeDone (not defined in the paper; see DESIGN.md §3.5(6)):
+  // make right's prev word consistent so the DCSS guard
+  // (right.prev, right.marked) == (left, 0) can be evaluated meaningfully.
+  if (is_marked(dcss_read(right->next))) {
+    set_prev_mark(right);
+    return;
+  }
+  const uint64_t pv = dcss_read(right->prevw);
+  if (is_marked(pv) || unpack_ptr<Node>(pv) == left) return;
+  dcss(ctx_, right->prevw, pv, pack_ptr(left), left->next, pack_ptr(right));
+}
+
+Node* SkipListEngine::walk_left(uint64_t x, Node* from) {
+  auto& c = tls_counters();
+  Node* curr = from;
+  for (uint32_t steps = 0;; ++steps) {
+    if (curr == nullptr || steps > kWalkLimit) {
+      c.restarts++;
+      return head_[top_];
+    }
+    const NodeKind k = curr->kind();
+    if (k == NodeKind::kHead) return head_[top_];
+    if (k == NodeKind::kPoison || k == NodeKind::kTail) {
+      c.restarts++;
+      return head_[top_];
+    }
+    if (curr->ikey() < x) return curr;
+    // Alg. 4: back pointers across marked nodes, prev pointers otherwise.
+    if (is_marked(dcss_read(curr->next))) {
+      c.back_steps++;
+      curr = curr->back.load(std::memory_order_acquire);
+    } else {
+      c.prev_steps++;
+      curr = unpack_ptr<Node>(dcss_read(curr->prevw));
+    }
+  }
+}
+
+bool SkipListEngine::raise_level(Node* root, Node* nnode, uint64_t x,
+                                 uint32_t lvl, Node*& hint) {
+  for (;;) {
+    if (root->stopw.load(std::memory_order_seq_cst) != 0) return false;
+    Bracket b = list_search(x, hint, lvl);
+    hint = b.left;
+    if (b.right->ikey() == x) return false;  // same key already at this level
+    nnode->next.store(pack_ptr(b.right), std::memory_order_relaxed);
+    // The paper (§2): "Each insertion is conditioned on the stop flag of the
+    // root remaining unset" — DCSS on the predecessor link guarded by stopw.
+    const DcssResult r = dcss(ctx_, b.left->next, pack_ptr(b.right),
+                              pack_ptr(nnode), root->stopw, 0);
+    if (r.success) {
+      if (ctx_.mode == DcssMode::kCasFallback &&
+          root->stopw.load(std::memory_order_seq_cst) != 0) {
+        // CAS fallback dropped the guard and the link may have landed after
+        // a delete claimed the tower; undo our own link so the deleter's
+        // sweep cannot strand this node (DESIGN.md §3.5(5)).
+        if (mark_node(nnode, b.left)) {
+          list_search(x, b.left, lvl);  // ensure physically unlinked
+          retire_node(nnode);
+        }
+        return false;
+      }
+      return true;
+    }
+    if (r.guard_failed) return false;
+    // Link target changed; retry from the updated hint.
+  }
+}
+
+SkipListEngine::InsertResult SkipListEngine::insert(uint64_t x, Node* start,
+                                                    uint32_t height) {
+  assert(height <= top_);
+  Node* hints[kMaxLevels + 1];
+  Bracket b = descend(x, start, hints);
+  InsertResult res;
+  Node* root = nullptr;
+  for (;;) {
+    if (b.right->ikey() == x) {
+      // Observed an unmarked node with this key: the key is present.
+      if (root != nullptr) {
+        root->poison();
+        arena_.recycle(root);  // never published
+      }
+      return res;
+    }
+    if (root == nullptr) root = make_node(x, 0, height, nullptr, nullptr);
+    root->next.store(pack_ptr(b.right), std::memory_order_relaxed);
+    // Linearization point of a successful insert: linking at level 0.
+    if (counted_cas(b.left->next, pack_ptr(b.right), pack_ptr(root))) break;
+    b = list_search(x, b.left, 0);
+  }
+  res.root = root;
+  res.inserted = true;
+
+  Node* below = root;
+  for (uint32_t lvl = 1; lvl <= height; ++lvl) {
+    Node* n = make_node(x, lvl, height, below, root);
+    if (!raise_level(root, n, x, lvl, hints[lvl])) {
+      // raise_level either never published n (common case) or already
+      // retired it (CAS-fallback undo, in which case it was marked and the
+      // mark winner owns it — raise_level handled that internally and n
+      // must not be touched again).  Distinguish via the mark: an
+      // unpublished node is still unmarked.
+      if (!is_marked(n->next.load(std::memory_order_acquire))) {
+        n->poison();
+        arena_.recycle(n);
+      }
+      return res;
+    }
+    below = n;
+  }
+  if (height == top_) {
+    res.top = below;
+    fix_prev(hints[top_], res.top);
+  }
+  return res;
+}
+
+Node* SkipListEngine::find_tower_node(uint64_t x, Node* root, uint32_t level,
+                                      Node*& left) {
+  Bracket b = list_search(x, left, level);
+  left = b.left;
+  Node* c = b.right;
+  // Equal-key runs can transiently hold several nodes (a marked old tower
+  // plus a new one, or CAS-fallback orphans); scan for ours.
+  for (uint32_t i = 0; c != nullptr && c->ikey() == x && i < kEqualRunLimit;
+       ++i) {
+    if (c->root() == root) return c;
+    c = unpack_ptr<Node>(without_tags(dcss_read(c->next)));
+  }
+  return nullptr;
+}
+
+SkipListEngine::EraseResult SkipListEngine::erase(uint64_t x, Node* start) {
+  EraseResult res;
+  Node* hints[kMaxLevels + 1];
+  const Bracket b0 = descend(x, start, hints);
+  if (b0.right->ikey() != x || b0.right->level() != 0 ||
+      b0.right->kind() != NodeKind::kInterior) {
+    return res;  // not present
+  }
+  Node* root = b0.right;
+  // Claim the tower (paper §2: set the root's stop flag).  Losing the claim
+  // means another delete owns this tower; our erase linearizes after its
+  // level-0 mark as "not present".
+  uint64_t expect = 0;
+  if (!root->stopw.compare_exchange_strong(expect, 1,
+                                           std::memory_order_seq_cst)) {
+    return res;
+  }
+
+  // Top-down sweep; repeat until a pass finds nothing so that raises racing
+  // the claim (possible in CAS-fallback mode) cannot strand tower nodes.
+  bool had_top = false;
+  for (;;) {
+    bool found_any = false;
+    for (int lvl = static_cast<int>(top_); lvl >= 1; --lvl) {
+      Node* left = hints[lvl];
+      Node* tn = find_tower_node(x, root, static_cast<uint32_t>(lvl), left);
+      hints[lvl] = left;
+      if (tn == nullptr) continue;
+      found_any = true;
+      if (static_cast<uint32_t>(lvl) == top_) {
+        had_top = true;
+        res.top = tn;
+        // Alg. 2: make sure the node was completely inserted first.
+        if (tn->ready.load(std::memory_order_acquire) == 0) {
+          fix_prev(left, tn);
+        }
+        const bool won = mark_node(tn, left);
+        set_prev_mark(tn);  // mirror the mark into the prev word (Alg. 7)
+        list_search(x, left, static_cast<uint32_t>(lvl));  // force unlink
+        if (won) res.owned[res.owned_count++] = tn;
+      } else {
+        const bool won = mark_node(tn, left);
+        list_search(x, left, static_cast<uint32_t>(lvl));
+        if (won) res.owned[res.owned_count++] = tn;
+      }
+    }
+    if (!found_any) break;
+  }
+
+  // Level 0 last: this mark is the linearization point of the delete.
+  const bool won0 = mark_node(root, hints[0]);
+  list_search(x, hints[0], 0);
+  if (won0) res.owned[res.owned_count++] = root;
+  res.erased = true;
+
+  if (had_top) {
+    // Alg. 2 lines 4-7: repair the successor's prev pointer until the
+    // successor itself is stable.
+    Node* l = hints[top_];
+    for (int i = 0; i < kFixPrevRetries; ++i) {
+      Bracket b = list_search(x, l, top_);
+      l = b.left;
+      fix_prev(b.left, b.right);
+      if (!is_marked(dcss_read(b.right->next))) break;
+    }
+    res.top_left = l;
+  }
+  return res;
+}
+
+Node* SkipListEngine::first_at(uint32_t level) const {
+  Node* n = unpack_ptr<Node>(without_tags(dcss_read(head_[level]->next)));
+  while (n != nullptr && n->kind() == NodeKind::kInterior) {
+    if (!is_marked(dcss_read(n->next))) return n;
+    n = unpack_ptr<Node>(without_tags(dcss_read(n->next)));
+  }
+  return nullptr;
+}
+
+Node* SkipListEngine::next_at(Node* n) const {
+  Node* m = unpack_ptr<Node>(without_tags(dcss_read(n->next)));
+  while (m != nullptr && m->kind() == NodeKind::kInterior) {
+    if (!is_marked(dcss_read(m->next))) return m;
+    m = unpack_ptr<Node>(without_tags(dcss_read(m->next)));
+  }
+  return nullptr;
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,136 @@
+// Truncated lock-free skiplist engine (paper §2–§3).
+//
+// Levels 0..top_level each form a sorted Harris-style linked list with
+// logical deletion (mark in the node's own `next` word), back pointers for
+// recovery, and per-tower `stop` flags that halt concurrent raising when a
+// delete claims the tower.  The top level additionally maintains the
+// doubly-linked list of the paper's §3: `prev` guide pointers installed by
+// fixPrev (Alg. 1) and repaired by toplevelDelete (Alg. 2).
+//
+// The same engine powers both the SkipTrie's truncated skiplist
+// (top_level = ceil(log2 B), i.e. log log u) and the full-height baseline
+// skiplist (top_level ≈ log m) — the paper's comparison target.
+//
+// Concurrency contract: every public method must run under an
+// EbrDomain::Guard on ctx.ebr (guards are reentrant; the SkipTrie wrapper
+// pins once per operation).  Node storage comes from a type-stable
+// SlabArena; see DESIGN.md §3.3 for why stale guide pointers are safe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcss/dcss.h"
+#include "reclaim/arena.h"
+#include "skiplist/node.h"
+
+namespace skiptrie {
+
+class SkipListEngine {
+ public:
+  static constexpr uint32_t kMaxLevels = 40;  // supports the log-m baseline
+
+  // top_level: index of the highest level (inclusive).
+  SkipListEngine(DcssContext ctx, SlabArena& arena, uint32_t top_level);
+  ~SkipListEngine();
+
+  SkipListEngine(const SkipListEngine&) = delete;
+  SkipListEngine& operator=(const SkipListEngine&) = delete;
+
+  struct Bracket {
+    Node* left;
+    Node* right;
+  };
+
+  struct InsertResult {
+    Node* root = nullptr;  // level-0 node; nullptr if the key was present
+    Node* top = nullptr;   // top-level node if the tower reached top_level
+    bool inserted = false;
+  };
+
+  struct EraseResult {
+    bool erased = false;
+    Node* top = nullptr;       // top-level node if one was removed
+    Node* top_left = nullptr;  // top-level left hint for the trie sweep
+    // Tower nodes this operation owns (mark-CAS winner); retire after the
+    // trie sweep via retire_tower().
+    Node* owned[kMaxLevels + 1];
+    uint32_t owned_count = 0;
+  };
+
+  uint32_t top_level() const { return top_; }
+  Node* head(uint32_t level) const { return head_[level]; }
+  Node* tail() const { return tail_; }
+  const DcssContext& ctx() const { return ctx_; }
+
+  // The paper's listSearch(x, start) at a given level: returns (left, right)
+  // with left.ikey < x <= right.ikey such that left was unmarked and
+  // left.next == right at some point during the call; unlinks marked nodes
+  // it crosses.  `start` is only a hint — it is validated and the search
+  // falls back to the level head when the hint is unusable (stale guides,
+  // poisoned storage, wrong level).
+  Bracket list_search(uint64_t x, Node* start, uint32_t level);
+
+  // Descend from `start` (any level; validated) to level 0, returning the
+  // level-0 bracket.  If hints != nullptr it receives the per-level left
+  // nodes (size must be >= top_level()+1).
+  Bracket descend(uint64_t x, Node* start, Node** hints = nullptr);
+
+  // Insert ikey with tower height `height` (0..top_level), starting the
+  // search from `start`.  Duplicate detection is exact at level 0.
+  InsertResult insert(uint64_t x, Node* start, uint32_t height);
+
+  // Delete ikey, starting from `start`.  Claims the tower via the root's
+  // stop word, then removes the tower top-down (paper Alg. 2 / §2).
+  EraseResult erase(uint64_t x, Node* start);
+
+  // Algorithm 1.  Installs node.prev via DCSS guarded on the predecessor
+  // remaining unmarked and adjacent; sets node.ready on exit.
+  void fix_prev(Node* hint, Node* node);
+
+  // Helper used by the trie's delete sweep (Alg. 7 line 16): propagate
+  // right's mark into its prev word, or repair right.prev = left.
+  void make_done(Node* left, Node* right);
+
+  // Walk left from `from` until reaching a node with ikey < x, following
+  // back pointers on marked nodes and prev pointers otherwise (Alg. 4 body).
+  // Falls back to the top-level head when guides dead-end.
+  Node* walk_left(uint64_t x, Node* from);
+
+  // Retire an owned tower (from EraseResult) after any trie sweep.
+  void retire_owned(const EraseResult& r);
+  // Retire a single never-published or owned node.
+  void retire_node(Node* n);
+
+  // --- Introspection (tests / benches; not linearizable snapshots) ---
+  // First interior node at `level` (skips marked), nullptr when empty.
+  Node* first_at(uint32_t level) const;
+  // Next interior node after n at its level (skips marked).
+  Node* next_at(Node* n) const;
+  size_t approx_bytes() const { return arena_.bytes_reserved(); }
+
+  // Allocate + initialize an interior node (exposed for the baseline).
+  Node* make_node(uint64_t ikey, uint32_t level, uint32_t orig_height,
+                  Node* down, Node* root);
+
+ private:
+  bool usable_start(Node* n, uint64_t x, uint32_t level) const;
+  // Marks n (setting back to back_hint first).  Returns true iff this call's
+  // CAS performed the unmarked->marked transition (ownership for retiring).
+  bool mark_node(Node* n, Node* back_hint);
+  void set_prev_mark(Node* n);
+  // Raise the tower one level; false if stopped or a same-key node exists.
+  bool raise_level(Node* root, Node* nnode, uint64_t x, uint32_t lvl,
+                   Node*& hint);
+  // Find the tower node of `root` at `level` (walking equal-key runs);
+  // nullptr if not present.
+  Node* find_tower_node(uint64_t x, Node* root, uint32_t level, Node*& left);
+
+  DcssContext ctx_;
+  SlabArena& arena_;
+  const uint32_t top_;
+  Node* head_[kMaxLevels + 1];
+  Node* tail_;
+};
+
+}  // namespace skiptrie

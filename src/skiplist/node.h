@@ -1,0 +1,107 @@
+// Skiplist tower node.
+//
+// One fixed-size, cache-line-sized node type serves every level of the
+// truncated skiplist.  Field roles (paper §2, §3):
+//
+//   next   tagged word  (Node* | kMark | kDesc).  The Harris mark on a
+//          node's own next word is the node's logical-deletion flag at its
+//          level.  DCSS descriptors may be installed here transiently.
+//   ikey   internal key: user key + 1.  Head sentinels hold 0, the shared
+//          tail (and poisoned/recycled nodes) hold UINT64_MAX, so every user
+//          key satisfies 0 < ikey < UINT64_MAX.
+//   back   guide pointer, set just before the node is marked; points to the
+//          node's predecessor at marking time (Fomitchev–Ruppert).  Guide
+//          only: traversals validate what they find.
+//   down   tower link to the same key's node one level below (self at
+//          level 0).  Immutable after publication.
+//   root   the tower's level-0 node.  Immutable after publication.
+//   prevw  top-level only: tagged word (Node* | kMark).  The backwards
+//          "guide" pointer of the doubly-linked list.  Its mark mirrors the
+//          owner's deletion so Alg. 7's DCSS can guard on
+//          "(right.prev, right.marked)" as one word.
+//   stopw  root only: set to 1 by the delete operation that claims the
+//          tower; tower raising is DCSS-guarded on stopw == 0 (paper §2).
+//   ready  top-level only: set once fixPrev has installed the prev pointer.
+//   meta   packed {level, orig_height, kind}; written before publication and
+//          at poison time, hence atomic with relaxed access.
+//
+// Every field that a stale guide pointer could cause another thread to read
+// concurrently with poisoning is an atomic; accesses that merely validate
+// use relaxed ordering (the chain words carry the synchronization).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.h"
+#include "common/marked_ptr.h"
+
+namespace skiptrie {
+
+enum class NodeKind : uint8_t {
+  kInterior = 0,  // a real key's tower node
+  kHead = 1,      // per-level head sentinel (ikey 0)
+  kTail = 2,      // shared tail sentinel (ikey UINT64_MAX)
+  kPoison = 3,    // retired storage awaiting recycling
+};
+
+struct alignas(kCacheLine) Node {
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> ikey_{0};
+  std::atomic<Node*> back{nullptr};
+  std::atomic<Node*> down_{nullptr};
+  std::atomic<Node*> root_{nullptr};
+  std::atomic<uint64_t> prevw{0};
+  std::atomic<uint64_t> stopw{0};
+  std::atomic<uint32_t> ready{0};
+  std::atomic<uint32_t> meta{0};  // level | orig_height<<8 | kind<<16
+
+  uint64_t ikey() const { return ikey_.load(std::memory_order_relaxed); }
+  Node* down() const { return down_.load(std::memory_order_relaxed); }
+  Node* root() const { return root_.load(std::memory_order_relaxed); }
+  uint32_t level() const {
+    return meta.load(std::memory_order_relaxed) & 0xffu;
+  }
+  uint32_t orig_height() const {
+    return (meta.load(std::memory_order_relaxed) >> 8) & 0xffu;
+  }
+  NodeKind kind() const {
+    return static_cast<NodeKind>(
+        (meta.load(std::memory_order_relaxed) >> 16) & 0xffu);
+  }
+
+  void init(uint64_t ikey, uint32_t level, uint32_t orig_height,
+            NodeKind kind, Node* down, Node* root) {
+    next.store(0, std::memory_order_relaxed);
+    ikey_.store(ikey, std::memory_order_relaxed);
+    back.store(nullptr, std::memory_order_relaxed);
+    down_.store(down, std::memory_order_relaxed);
+    root_.store(root, std::memory_order_relaxed);
+    prevw.store(0, std::memory_order_relaxed);
+    stopw.store(0, std::memory_order_relaxed);
+    ready.store(0, std::memory_order_relaxed);
+    meta.store(level | (orig_height << 8) |
+                   (static_cast<uint32_t>(kind) << 16),
+               std::memory_order_release);
+  }
+
+  // Turn retired storage into an obviously-invalid node.  Runs after the
+  // EBR grace period; concurrent readers via stale guide pointers see either
+  // the old fields or the poison values, never torn non-atomic data.
+  void poison() {
+    ikey_.store(UINT64_MAX, std::memory_order_relaxed);
+    back.store(nullptr, std::memory_order_relaxed);
+    down_.store(nullptr, std::memory_order_relaxed);
+    root_.store(nullptr, std::memory_order_relaxed);
+    next.store(kMark, std::memory_order_relaxed);
+    prevw.store(kMark, std::memory_order_relaxed);
+    stopw.store(1, std::memory_order_relaxed);
+    ready.store(0, std::memory_order_relaxed);
+    meta.store(0xffu | (static_cast<uint32_t>(NodeKind::kPoison) << 16),
+               std::memory_order_release);
+  }
+};
+
+static_assert(sizeof(Node) == kCacheLine, "Node must be one cache line");
+
+}  // namespace skiptrie

@@ -1,0 +1,20 @@
+#include "workload/driver.h"
+
+#include <sstream>
+
+namespace skiptrie {
+
+std::string WorkloadResult::summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << total_ops << " ops in " << seconds << "s = " << mops() << " Mops/s"
+     << "; search steps/op " << search_steps_per_op()
+     << "; total steps/op " << total_steps_per_op()
+     << "; hops " << steps.node_hops << " probes " << steps.hash_probes
+     << " back " << steps.back_steps << " prev " << steps.prev_steps
+     << " restarts " << steps.restarts;
+  return os.str();
+}
+
+}  // namespace skiptrie

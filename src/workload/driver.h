@@ -1,0 +1,138 @@
+// Multi-threaded workload driver with step-counter aggregation.
+//
+// Runs a fixed operation mix from N threads against any set type exposing
+// insert/erase/contains/predecessor(uint64_t), aggregates wall time,
+// per-operation counts and the thread-local StepCounters deltas (the paper's
+// step-complexity currency).  Used by integration tests, stress tests and
+// every benchmark binary.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spin_barrier.h"
+#include "common/stats.h"
+#include "workload/distributions.h"
+
+namespace skiptrie {
+
+struct OpMix {
+  // Fractions; must sum to <= 1.0, remainder goes to contains().
+  double insert = 0.0;
+  double erase = 0.0;
+  double predecessor = 0.0;
+
+  static OpMix read_only() { return OpMix{0, 0, 1.0}; }
+  static OpMix read_heavy() { return OpMix{0.05, 0.05, 0.60}; }
+  static OpMix write_heavy() { return OpMix{0.40, 0.40, 0.10}; }
+  static OpMix balanced() { return OpMix{0.25, 0.25, 0.25}; }
+};
+
+struct WorkloadConfig {
+  uint32_t threads = 2;
+  uint64_t ops_per_thread = 100000;
+  OpMix mix = OpMix::balanced();
+  KeyDist dist = KeyDist::kUniform;
+  uint64_t key_space = 1ull << 20;
+  uint64_t seed = 42;
+  uint64_t prefill = 0;  // keys inserted (single-threaded) before timing
+};
+
+struct WorkloadResult {
+  double seconds = 0.0;
+  uint64_t total_ops = 0;
+  uint64_t inserts = 0, insert_hits = 0;
+  uint64_t erases = 0, erase_hits = 0;
+  uint64_t preds = 0, pred_hits = 0;
+  uint64_t lookups = 0, lookup_hits = 0;
+  StepCounters steps;
+
+  double mops() const { return total_ops / seconds / 1e6; }
+  double search_steps_per_op() const {
+    return total_ops ? static_cast<double>(steps.search_steps()) /
+                           static_cast<double>(total_ops)
+                     : 0.0;
+  }
+  double total_steps_per_op() const {
+    return total_ops ? static_cast<double>(steps.total_steps()) /
+                           static_cast<double>(total_ops)
+                     : 0.0;
+  }
+  std::string summary() const;
+};
+
+// Runs cfg against `set`.  Set must provide bool insert(uint64_t),
+// bool erase(uint64_t), bool contains(uint64_t) const and
+// std::optional<uint64_t> predecessor(uint64_t) const.
+template <typename Set>
+WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
+  // Prefill from a deterministic uniform stream.
+  if (cfg.prefill > 0) {
+    KeyGenerator gen(KeyDist::kUniform, cfg.key_space, cfg.seed ^ 0x9e3779b9,
+                     0.99);
+    for (uint64_t i = 0; i < cfg.prefill; ++i) set.insert(gen.next());
+  }
+
+  WorkloadResult result;
+  std::mutex agg_mu;
+  SpinBarrier barrier(cfg.threads + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+
+  for (uint32_t t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back([&, t] {
+      KeyGenerator gen(cfg.dist, cfg.key_space, cfg.seed + 0x1234 * (t + 1));
+      Xoshiro256 op_rng(cfg.seed ^ (0xabcdull * (t + 1)));
+      WorkloadResult local;
+      barrier.arrive_and_wait();  // start together
+      const StepCounters before = snapshot_counters();
+      for (uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+        const double r = op_rng.next_double();
+        const uint64_t key = gen.next();
+        if (r < cfg.mix.insert) {
+          local.inserts++;
+          local.insert_hits += set.insert(key) ? 1 : 0;
+        } else if (r < cfg.mix.insert + cfg.mix.erase) {
+          local.erases++;
+          local.erase_hits += set.erase(key) ? 1 : 0;
+        } else if (r < cfg.mix.insert + cfg.mix.erase + cfg.mix.predecessor) {
+          local.preds++;
+          local.pred_hits += set.predecessor(key).has_value() ? 1 : 0;
+        } else {
+          local.lookups++;
+          local.lookup_hits += set.contains(key) ? 1 : 0;
+        }
+      }
+      local.steps = snapshot_counters() - before;
+      barrier.arrive_and_wait();  // stop together
+      std::lock_guard<std::mutex> lk(agg_mu);
+      result.inserts += local.inserts;
+      result.insert_hits += local.insert_hits;
+      result.erases += local.erases;
+      result.erase_hits += local.erase_hits;
+      result.preds += local.preds;
+      result.pred_hits += local.pred_hits;
+      result.lookups += local.lookups;
+      result.lookup_hits += local.lookup_hits;
+      result.steps += local.steps;
+    });
+  }
+
+  barrier.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  barrier.arrive_and_wait();
+  const auto t1 = std::chrono::steady_clock::now();
+  for (auto& th : threads) th.join();
+
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.total_ops =
+      static_cast<uint64_t>(cfg.threads) * cfg.ops_per_thread;
+  return result;
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,25 @@
+// X-fast trie tree node (paper §4, "The data structure").
+//
+// Each prefix present in the trie maps (through the split-ordered hash
+// table) to one TreeNode holding two tagged pointer words:
+//
+//   ptrs[0] -> the largest top-level skiplist node in the prefix's 0-subtree
+//   ptrs[1] -> the smallest top-level skiplist node in the prefix's 1-subtree
+//
+// 0 (null) means the subtree is empty (modulo in-flight inserts).  The pair
+// (null, null) marks the node as slated for deletion from the hash table;
+// concurrent inserts observing it help delete (Alg. 6 lines 13-14).  Both
+// words are DCSS targets (swings are guarded on the destination node being
+// unmarked / adjacent), so they must be read with dcss_read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace skiptrie {
+
+struct alignas(16) TreeNode {
+  std::atomic<uint64_t> ptrs[2] = {0, 0};
+};
+
+}  // namespace skiptrie

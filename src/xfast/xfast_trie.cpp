@@ -1,0 +1,224 @@
+#include "xfast/xfast_trie.h"
+
+#include <cassert>
+
+#include "common/bitops.h"
+#include "common/stats.h"
+
+namespace skiptrie {
+
+namespace {
+// After this many failed guarded swings in the delete sweep we fall back to
+// clearing the pointer with plain CAS — the paper's CAS fallback, trading
+// trie coverage (repaired by later inserts) for guaranteed termination.
+constexpr int kSwingLimit = 64;
+
+// A trie child pointer should name a live top-level interior node; heads,
+// tails and poisoned storage read as ikey 0 / UINT64_MAX.
+inline bool plausible_candidate(uint64_t ik) {
+  return ik != 0 && ik != UINT64_MAX;
+}
+}  // namespace
+
+XFastTrie::XFastTrie(DcssContext ctx, SkipListEngine& engine, uint32_t bits,
+                     size_t max_hash_buckets)
+    : ctx_(ctx), engine_(engine), bits_(bits),
+      map_(ctx, max_hash_buckets) {
+  assert(bits_ >= 4 && bits_ <= 64);
+  root_ = new TreeNode();
+  const bool ok = map_.insert(encode_prefix(0, 0, bits_),
+                              reinterpret_cast<uint64_t>(root_));
+  assert(ok);
+  (void)ok;
+}
+
+XFastTrie::~XFastTrie() {
+  // Quiescent teardown: every TreeNode still referenced by the table is
+  // deleted here; TreeNodes removed earlier were EBR-retired by their
+  // removers.
+  map_.for_each([](uint64_t, uint64_t value) {
+    delete reinterpret_cast<TreeNode*>(value);
+  });
+}
+
+size_t XFastTrie::approx_bytes() const {
+  return map_.approx_bytes() + map_.size() * sizeof(TreeNode);
+}
+
+Node* XFastTrie::lowest_ancestor(uint64_t key, uint64_t x) {
+  // Algorithm 3 as a classic binary search on prefix length (DESIGN.md
+  // §3.5(4)).  Tracks the "best" candidate seen — the top-level node whose
+  // key is closest to x (paper lines 10-13).
+  Node* best = nullptr;
+  uint64_t best_dist = UINT64_MAX;
+  auto consider = [&](uint64_t word) {
+    Node* cand = unpack_ptr<Node>(word);
+    if (cand == nullptr) return;
+    const uint64_t ik = cand->ikey();
+    if (!plausible_candidate(ik)) return;
+    const uint64_t d = abs_diff(ik, x);
+    if (d < best_dist) {
+      best_dist = d;
+      best = cand;
+    }
+  };
+
+  // Root entry (always present): paper line 4, plus the opposite direction
+  // as a fallback so an empty subtree still yields a start hint.
+  const uint64_t b0 = key_bit(key, 0, bits_);
+  consider(dcss_read(root_->ptrs[b0]));
+  consider(dcss_read(root_->ptrs[1 - b0]));
+
+  uint32_t lo = 0;
+  uint32_t hi = bits_ - 1;
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi + 1) / 2;
+    const auto found = map_.lookup(encode_prefix(key, mid, bits_));
+    if (found.has_value()) {
+      auto* tn = reinterpret_cast<TreeNode*>(*found);
+      // Consider BOTH subtree extremes.  At the lowest ancestor the
+      // query-direction subtree is empty by definition (otherwise a longer
+      // prefix would exist), so the tight candidate — the predecessor or
+      // successor of x among top-level keys — is the opposite pointer.
+      consider(dcss_read(tn->ptrs[0]));
+      consider(dcss_read(tn->ptrs[1]));
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return best;
+}
+
+Node* XFastTrie::pred_start(uint64_t key, uint64_t x) {
+  Node* anc = lowest_ancestor(key, x);
+  if (anc == nullptr) anc = engine_.head(engine_.top_level());
+  // Algorithm 4: walk back/prev guides until ikey < x.
+  return engine_.walk_left(x, anc);
+}
+
+void XFastTrie::insert_prefixes(uint64_t key, Node* node) {
+  auto& c = tls_counters();
+  // Bottom-up: longest proper prefix first (Alg. 6 line 5).
+  for (int len = static_cast<int>(bits_) - 1; len >= 0; --len) {
+    const uint64_t p = encode_prefix(key, static_cast<uint32_t>(len), bits_);
+    const uint64_t d = key_bit(key, static_cast<uint32_t>(len), bits_);
+    for (;;) {
+      c.trie_level_ops++;
+      const uint64_t nodeword = dcss_read(node->next);
+      if (is_marked(nodeword)) return;  // node deleted: stop raising prefixes
+      const auto found = map_.lookup(p);
+      if (!found.has_value()) {
+        // Create the prefix entry (Alg. 6 lines 9-12); the hash insert is
+        // DCSS-guarded on node staying unmarked (DESIGN.md §3.5(1)) so a
+        // trie entry can never be born pointing at a marked node.
+        auto* tn = new TreeNode();
+        tn->ptrs[d].store(pack_ptr(node), std::memory_order_relaxed);
+        bool guard_failed = false;
+        if (map_.insert(p, reinterpret_cast<uint64_t>(tn), &node->next,
+                        nodeword, &guard_failed)) {
+          break;  // crossed this level
+        }
+        delete tn;
+        continue;  // entry appeared or node's next changed; re-examine
+      }
+      auto* tn = reinterpret_cast<TreeNode*>(*found);
+      const uint64_t p0 = dcss_read(tn->ptrs[0]);
+      const uint64_t p1 = dcss_read(tn->ptrs[1]);
+      if (len > 0 && p0 == 0 && p1 == 0) {
+        // Slated for deletion: help remove it, then retry this level
+        // (Alg. 6 lines 13-14).
+        if (map_.compare_and_delete(p, reinterpret_cast<uint64_t>(tn))) {
+          ctx_.ebr->retire_delete(tn);
+        }
+        continue;
+      }
+      const uint64_t curr = (d == 0) ? p0 : p1;
+      Node* cn = unpack_ptr<Node>(curr);
+      if (cn != nullptr) {
+        const uint64_t ck = cn->ikey();
+        const uint64_t nk = node->ikey();
+        const bool covered = plausible_candidate(ck) &&
+                             ((d == 0) ? ck >= nk : ck <= nk);
+        if (covered) break;  // adequately represented (Alg. 6 line 17)
+      }
+      // Swing the pointer to node, conditioned on node remaining unmarked
+      // (Alg. 6 lines 18-19).
+      const DcssResult r =
+          dcss(ctx_, tn->ptrs[d], curr, pack_ptr(node), node->next, nodeword);
+      if (r.success) break;
+      // Guard failure may mean the node was marked OR merely that its next
+      // pointer moved; the loop re-reads and re-checks the mark.
+    }
+  }
+}
+
+void XFastTrie::remove_prefixes(uint64_t key, Node* node,
+                                Node* top_left_hint) {
+  auto& c = tls_counters();
+  const uint64_t x = node->ikey();
+  const uint32_t top = engine_.top_level();
+  Node* left_hint = top_left_hint != nullptr ? top_left_hint
+                                             : engine_.head(top);
+  // Top-down: shortest prefix first (Alg. 7 line 5).
+  for (uint32_t len = 0; len < bits_; ++len) {
+    c.trie_level_ops++;
+    const uint64_t p = encode_prefix(key, len, bits_);
+    const uint64_t d = key_bit(key, len, bits_);
+    const auto found = map_.lookup(p);
+    if (!found.has_value()) continue;  // Alg. 7 line 9
+    auto* tn = reinterpret_cast<TreeNode*>(*found);
+    uint64_t curr = dcss_read(tn->ptrs[d]);
+    int spins = 0;
+    while (unpack_ptr<Node>(curr) == node) {
+      if (++spins > kSwingLimit) {
+        // Guaranteed-termination fallback: clear the pointer outright.
+        // Later inserts restore coverage; searches merely lose a hint.
+        counted_cas(tn->ptrs[d], curr, 0);
+        curr = dcss_read(tn->ptrs[d]);
+        continue;
+      }
+      const SkipListEngine::Bracket b = engine_.list_search(x, left_hint, top);
+      left_hint = b.left;
+      if (d == 0) {
+        // Swing backwards to left, guarded on left unmarked and adjacent
+        // (Alg. 7 lines 13-14).
+        dcss(ctx_, tn->ptrs[d], curr, pack_ptr(b.left), b.left->next,
+             pack_ptr(b.right));
+      } else {
+        // Swing forwards to right, guarded on (right.prev, right.marked)
+        // == (left, 0) (Alg. 7 lines 16-17).
+        engine_.make_done(b.left, b.right);
+        dcss(ctx_, tn->ptrs[d], curr, pack_ptr(b.right), b.right->prevw,
+             pack_ptr(b.left));
+      }
+      curr = dcss_read(tn->ptrs[d]);
+    }
+    // If the pointer left the p.d subtree entirely, the subtree is empty:
+    // clear it (Alg. 7 lines 19-20).
+    Node* cn = unpack_ptr<Node>(curr);
+    if (cn != nullptr) {
+      const uint64_t ck = cn->ikey();
+      const bool in_subtree =
+          plausible_candidate(ck) &&
+          cn->kind() == NodeKind::kInterior &&
+          prefix_matches(p, ck - 1, len, bits_);
+      if (!in_subtree) {
+        counted_cas(tn->ptrs[d], curr, 0);
+      }
+    }
+    // If both subtrees are empty, remove the entry (Alg. 7 lines 21-22).
+    // The root (empty prefix) entry is permanent.
+    if (len > 0) {
+      const uint64_t q0 = dcss_read(tn->ptrs[0]);
+      const uint64_t q1 = dcss_read(tn->ptrs[1]);
+      if (q0 == 0 && q1 == 0) {
+        if (map_.compare_and_delete(p, reinterpret_cast<uint64_t>(tn))) {
+          ctx_.ebr->retire_delete(tn);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,66 @@
+// Concurrent x-fast trie (paper §4, Algorithms 3-7).
+//
+// A hash table (split-ordered, lock-free) maps every prefix of every
+// top-level skiplist key to a TreeNode carrying pointers to the extreme
+// top-level nodes of the prefix's two subtrees.  Predecessor queries binary
+// search on prefix length (LowestAncestor, Alg. 3), then walk the top-level
+// doubly-linked list leftwards (xFastTriePred, Alg. 4).  Inserts add
+// prefixes bottom-up (Alg. 6), deletes sweep top-down (Alg. 7); both use
+// DCSS so that no pointer can be installed onto a marked node, and the hash
+// insert of a fresh TreeNode is guarded the same way (DESIGN.md §3.5(1)).
+//
+// All methods must run under an EbrDomain::Guard (reentrant; the SkipTrie
+// wrapper pins once per public operation).
+#pragma once
+
+#include <cstdint>
+
+#include "hash/split_ordered.h"
+#include "skiplist/engine.h"
+#include "xfast/tree_node.h"
+
+namespace skiptrie {
+
+class XFastTrie {
+ public:
+  // bits: B = log2(universe size), 4..64.
+  XFastTrie(DcssContext ctx, SkipListEngine& engine, uint32_t bits,
+            size_t max_hash_buckets = 1u << 20);
+  ~XFastTrie();
+
+  XFastTrie(const XFastTrie&) = delete;
+  XFastTrie& operator=(const XFastTrie&) = delete;
+
+  uint32_t bits() const { return bits_; }
+
+  // Algorithms 3+4: find a top-level-ish start node with ikey < x.
+  // `key` supplies the prefix bits for the binary search; `x` is the
+  // internal-key search bound.  Never returns null (head fallback).
+  Node* pred_start(uint64_t key, uint64_t x);
+
+  // Algorithm 6 lines 5-20: insert the prefixes of `key`, pointing at the
+  // (top-level) skiplist node `node`.  Stops as soon as node is marked.
+  void insert_prefixes(uint64_t key, Node* node);
+
+  // Algorithm 7 lines 5-22: remove every trie reference to `node` (already
+  // marked and unlinked).  `top_left_hint` is a top-level left hint from the
+  // delete's successor repair.
+  void remove_prefixes(uint64_t key, Node* node, Node* top_left_hint);
+
+  // Number of prefix entries currently in the hash table.
+  size_t entry_count() const { return map_.size(); }
+  size_t approx_bytes() const;
+
+  const SplitOrderedMap& map() const { return map_; }
+
+ private:
+  Node* lowest_ancestor(uint64_t key, uint64_t x);
+
+  DcssContext ctx_;
+  SkipListEngine& engine_;
+  const uint32_t bits_;
+  SplitOrderedMap map_;
+  TreeNode* root_;  // entry for the empty prefix; never deleted
+};
+
+}  // namespace skiptrie

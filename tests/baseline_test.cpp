@@ -1,0 +1,120 @@
+#include "baseline/lockfree_skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baseline/locked_map.h"
+#include "common/random.h"
+
+namespace skiptrie {
+namespace {
+
+TEST(LockFreeSkipList, BasicSemantics) {
+  LockFreeSkipList s(12);
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.predecessor(5).value(), 5u);
+  EXPECT_EQ(s.predecessor(4), std::nullopt);
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+}
+
+TEST(LockFreeSkipList, ModelCheck) {
+  LockFreeSkipList s(16);
+  std::set<uint64_t> ref;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 15000; ++i) {
+    const uint64_t k = rng.next_below(2048);
+    switch (rng.next_below(4)) {
+      case 0: ASSERT_EQ(s.insert(k), ref.insert(k).second); break;
+      case 1: ASSERT_EQ(s.erase(k), ref.erase(k) > 0); break;
+      case 2: ASSERT_EQ(s.contains(k), ref.count(k) > 0); break;
+      default: {
+        auto it = ref.upper_bound(k);
+        std::optional<uint64_t> expect;
+        if (it != ref.begin()) expect = *std::prev(it);
+        ASSERT_EQ(s.predecessor(k), expect);
+      }
+    }
+  }
+  EXPECT_EQ(s.size(), ref.size());
+}
+
+TEST(LockFreeSkipList, ConcurrentDisjointExactness) {
+  LockFreeSkipList s(18);
+  const int kThreads = 4;
+  const uint64_t kPer = 3000;
+  std::vector<std::thread> ts;
+  for (int w = 0; w < kThreads; ++w) {
+    ts.emplace_back([&, w] {
+      const uint64_t base = static_cast<uint64_t>(w) << 32;
+      for (uint64_t i = 0; i < kPer; ++i) ASSERT_TRUE(s.insert(base + i));
+      for (uint64_t i = 0; i < kPer; i += 2) ASSERT_TRUE(s.erase(base + i));
+      for (uint64_t i = 0; i < kPer; ++i) {
+        ASSERT_EQ(s.contains(base + i), i % 2 == 1);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(s.size(), kThreads * kPer / 2);
+}
+
+TEST(LockFreeSkipList, SuccessorWorks) {
+  LockFreeSkipList s(12);
+  s.insert(10);
+  s.insert(20);
+  EXPECT_EQ(s.successor(0).value(), 10u);
+  EXPECT_EQ(s.successor(10).value(), 20u);
+  EXPECT_EQ(s.successor(20), std::nullopt);
+}
+
+TEST(LockedMap, BasicSemantics) {
+  LockedMap m;
+  EXPECT_TRUE(m.insert(5));
+  EXPECT_FALSE(m.insert(5));
+  EXPECT_TRUE(m.contains(5));
+  EXPECT_EQ(m.predecessor(7).value(), 5u);
+  EXPECT_EQ(m.predecessor(5).value(), 5u);
+  EXPECT_EQ(m.predecessor(4), std::nullopt);
+  EXPECT_EQ(m.successor(5), std::nullopt);
+  EXPECT_TRUE(m.erase(5));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(LockedMap, ConcurrentSmoke) {
+  LockedMap m;
+  std::vector<std::thread> ts;
+  for (int w = 0; w < 4; ++w) {
+    ts.emplace_back([&, w] {
+      for (uint64_t i = 0; i < 2000; ++i) {
+        m.insert(w * 10000 + i);
+        m.predecessor(w * 10000 + i);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(m.size(), 4u * 2000u);
+}
+
+TEST(Baselines, AgreeWithEachOtherOnRandomStream) {
+  LockFreeSkipList a(16);
+  LockedMap b;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t k = rng.next_below(1024);
+    switch (rng.next_below(3)) {
+      case 0: ASSERT_EQ(a.insert(k), b.insert(k)); break;
+      case 1: ASSERT_EQ(a.erase(k), b.erase(k)); break;
+      default: ASSERT_EQ(a.predecessor(k), b.predecessor(k)); break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skiptrie

@@ -1,0 +1,79 @@
+// Remaining common utilities: backoff, spin barrier, padding.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/cacheline.h"
+#include "common/spin_barrier.h"
+
+namespace skiptrie {
+namespace {
+
+TEST(Backoff, SpinsAndResets) {
+  Backoff b;
+  for (int i = 0; i < 20; ++i) b.spin();  // must terminate despite growth
+  b.reset();
+  b.spin();
+  SUCCEED();
+}
+
+TEST(Padded, FillsCacheLine) {
+  EXPECT_EQ(sizeof(Padded<std::atomic<uint64_t>>), kCacheLine);
+  EXPECT_EQ(sizeof(Padded<uint32_t>), kCacheLine);
+  EXPECT_EQ(alignof(Padded<uint8_t>), kCacheLine);
+}
+
+TEST(Padded, ArrayElementsOnDistinctLines) {
+  Padded<std::atomic<uint64_t>> arr[4];
+  for (int i = 1; i < 4; ++i) {
+    const auto a = reinterpret_cast<uintptr_t>(&arr[i - 1].value);
+    const auto b = reinterpret_cast<uintptr_t>(&arr[i].value);
+    EXPECT_GE(b - a, kCacheLine);
+  }
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counts[kPhases];
+  for (auto& c : phase_counts) c.store(0);
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_counts[p].fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread must have bumped this phase.
+        if (phase_counts[p].load() != kThreads) violation.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(SpinBarrier, ReusableAcrossManyRounds) {
+  SpinBarrier barrier(2);
+  std::atomic<int> sum{0};
+  std::thread other([&] {
+    for (int i = 0; i < 1000; ++i) {
+      sum.fetch_add(1);
+      barrier.arrive_and_wait();
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    barrier.arrive_and_wait();
+    ASSERT_GE(sum.load(), i + 1);
+  }
+  other.join();
+}
+
+}  // namespace
+}  // namespace skiptrie

@@ -1,0 +1,183 @@
+// Parameterized engine sweeps: the same tower/list invariants must hold for
+// every truncation height (the SkipTrie uses 3..7 levels, the baseline up
+// to ~40) and for both synchronization modes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/random.h"
+#include "skiplist/engine.h"
+
+namespace skiptrie {
+namespace {
+
+class EngineSweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, DcssMode>> {
+ protected:
+  EngineSweep()
+      : arena_(sizeof(Node), kCacheLine, 1024),
+        ctx_{&ebr_, std::get<1>(GetParam())},
+        eng_(ctx_, arena_, std::get<0>(GetParam())) {}
+
+  uint32_t top() const { return std::get<0>(GetParam()); }
+  static uint64_t ik(uint64_t k) { return k + 1; }
+
+  SlabArena arena_;
+  EbrDomain ebr_;
+  DcssContext ctx_;
+  SkipListEngine eng_;
+};
+
+TEST_P(EngineSweep, FullHeightTowerSpansAllLevels) {
+  EbrDomain::Guard g(ebr_);
+  ASSERT_TRUE(eng_.insert(ik(42), eng_.head(top()), top()).inserted);
+  for (uint32_t l = 0; l <= top(); ++l) {
+    Node* n = eng_.first_at(l);
+    ASSERT_NE(n, nullptr) << "level " << l;
+    EXPECT_EQ(n->ikey(), ik(42));
+  }
+}
+
+TEST_P(EngineSweep, EraseAtEveryHeightCleansAllLevels) {
+  EbrDomain::Guard g(ebr_);
+  for (uint32_t h = 0; h <= top(); ++h) {
+    const uint64_t key = 100 + h;
+    ASSERT_TRUE(eng_.insert(ik(key), eng_.head(top()), h).inserted);
+    auto r = eng_.erase(ik(key), eng_.head(top()));
+    ASSERT_TRUE(r.erased) << "height " << h;
+    EXPECT_EQ(r.top != nullptr, h == top()) << "height " << h;
+    eng_.retire_owned(r);
+    for (uint32_t l = 0; l <= top(); ++l) {
+      EXPECT_EQ(eng_.first_at(l), nullptr) << "h=" << h << " level " << l;
+    }
+  }
+}
+
+TEST_P(EngineSweep, InterleavedChurnMatchesReference) {
+  EbrDomain::Guard g(ebr_);
+  Xoshiro256 rng(top() * 7 + 1);
+  std::set<uint64_t> ref;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t k = rng.next_below(128);
+    if (rng.next() & 1) {
+      const bool ours =
+          eng_.insert(ik(k), eng_.head(top()), rng.geometric_height(top()))
+              .inserted;
+      ASSERT_EQ(ours, ref.insert(k).second);
+    } else {
+      auto r = eng_.erase(ik(k), eng_.head(top()));
+      ASSERT_EQ(r.erased, ref.erase(k) > 0);
+      if (r.erased) eng_.retire_owned(r);
+    }
+  }
+  size_t count = 0;
+  for (Node* n = eng_.first_at(0); n != nullptr; n = eng_.next_at(n)) ++count;
+  EXPECT_EQ(count, ref.size());
+}
+
+TEST_P(EngineSweep, BracketsAlwaysSortedAndTight) {
+  EbrDomain::Guard g(ebr_);
+  Xoshiro256 rng(9);
+  std::set<uint64_t> ref;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t k = rng.next_below(100000);
+    if (ref.insert(k).second) {
+      ASSERT_TRUE(
+          eng_.insert(ik(k), eng_.head(top()), rng.geometric_height(top()))
+              .inserted);
+    }
+  }
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t q = rng.next_below(100000);
+    const auto b = eng_.descend(ik(q), eng_.head(top()));
+    // left < ik(q) <= right, and they are adjacent in the reference too.
+    EXPECT_LT(b.left->ikey(), ik(q));
+    EXPECT_GE(b.right->ikey(), ik(q));
+    auto it = ref.lower_bound(q);
+    if (it == ref.begin()) {
+      EXPECT_EQ(b.left->kind(), NodeKind::kHead);
+    } else {
+      EXPECT_EQ(b.left->ikey(), ik(*std::prev(it)));
+    }
+    if (it == ref.end()) {
+      EXPECT_EQ(b.right->kind(), NodeKind::kTail);
+    } else {
+      EXPECT_EQ(b.right->ikey(), ik(*it));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopLevelsByMode, EngineSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 6u, 10u, 20u),
+                       ::testing::Values(DcssMode::kDcss,
+                                         DcssMode::kCasFallback)),
+    [](const auto& info) {
+      return "top" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == DcssMode::kDcss ? "_dcss" : "_cas");
+    });
+
+// Guide-pointer hardening: traversals must survive poisoned storage.
+class GuideHardening : public ::testing::Test {
+ protected:
+  GuideHardening()
+      : arena_(sizeof(Node), kCacheLine, 256),
+        ctx_{&ebr_, DcssMode::kDcss},
+        eng_(ctx_, arena_, 3) {}
+  SlabArena arena_;
+  EbrDomain ebr_;
+  DcssContext ctx_;
+  SkipListEngine eng_;
+};
+
+TEST_F(GuideHardening, WalkLeftFromPoisonedNodeFallsBackToHead) {
+  EbrDomain::Guard g(ebr_);
+  ASSERT_TRUE(eng_.insert(100, eng_.head(3), 3).inserted);
+  Node* poisoned = eng_.make_node(999, 2, 2, nullptr, nullptr);
+  poisoned->poison();
+  Node* res = eng_.walk_left(50, poisoned);
+  EXPECT_EQ(res, eng_.head(3));
+  arena_.recycle(poisoned);
+}
+
+TEST_F(GuideHardening, ListSearchFromPoisonedStartRecovers) {
+  EbrDomain::Guard g(ebr_);
+  ASSERT_TRUE(eng_.insert(100, eng_.head(3), 1).inserted);
+  Node* poisoned = eng_.make_node(999, 1, 1, nullptr, nullptr);
+  poisoned->poison();
+  const auto b = eng_.list_search(100, poisoned, 1);
+  EXPECT_EQ(b.right->ikey(), 100u);
+  arena_.recycle(poisoned);
+}
+
+TEST_F(GuideHardening, DescendFromWrongLevelNodeStillCorrect) {
+  EbrDomain::Guard g(ebr_);
+  for (uint64_t k = 1; k <= 50; ++k) {
+    ASSERT_TRUE(eng_.insert(k * 2, eng_.head(3), k % 4).inserted);
+  }
+  // Use a level-0 node as the descend start (simulates a recycled guide
+  // that now lives at a different level): result must still be exact.
+  Node* low = eng_.first_at(0);
+  ASSERT_NE(low, nullptr);
+  const auto b = eng_.descend(77, low);
+  EXPECT_EQ(b.left->ikey(), 76u);
+  EXPECT_EQ(b.right->ikey(), 78u);
+}
+
+TEST_F(GuideHardening, WalkLeftNullFromPoisonBackPointer) {
+  EbrDomain::Guard g(ebr_);
+  ASSERT_TRUE(eng_.insert(10, eng_.head(3), 3).inserted);
+  Node* n = eng_.first_at(3);
+  ASSERT_NE(n, nullptr);
+  // Mark with a null back pointer: the walk must fall back to the head
+  // rather than dereference null.
+  uint64_t w = n->next.load();
+  ASSERT_TRUE(n->next.compare_exchange_strong(w, with_mark(w)));
+  n->back.store(nullptr);
+  Node* res = eng_.walk_left(5, n);
+  EXPECT_EQ(res, eng_.head(3));
+}
+
+}  // namespace
+}  // namespace skiptrie

@@ -1,0 +1,65 @@
+#include "common/marked_ptr.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace skiptrie {
+namespace {
+
+struct alignas(8) Dummy {
+  int v;
+};
+
+TEST(MarkedPtr, RoundTripPlain) {
+  Dummy d{7};
+  const uint64_t w = pack_ptr(&d);
+  EXPECT_EQ(unpack_ptr<Dummy>(w), &d);
+  EXPECT_FALSE(is_marked(w));
+  EXPECT_FALSE(is_desc(w));
+}
+
+TEST(MarkedPtr, RoundTripMarked) {
+  Dummy d{7};
+  const uint64_t w = pack_ptr(&d, kMark);
+  EXPECT_EQ(unpack_ptr<Dummy>(w), &d);
+  EXPECT_TRUE(is_marked(w));
+  EXPECT_FALSE(is_desc(w));
+}
+
+TEST(MarkedPtr, RoundTripDesc) {
+  Dummy d{7};
+  const uint64_t w = pack_ptr(&d, kDesc);
+  EXPECT_EQ(unpack_ptr<Dummy>(w), &d);
+  EXPECT_FALSE(is_marked(w));
+  EXPECT_TRUE(is_desc(w));
+}
+
+TEST(MarkedPtr, WithMarkPreservesPointer) {
+  Dummy d{7};
+  const uint64_t w = with_mark(pack_ptr(&d));
+  EXPECT_TRUE(is_marked(w));
+  EXPECT_EQ(unpack_ptr<Dummy>(w), &d);
+}
+
+TEST(MarkedPtr, WithoutTagsStripsBoth) {
+  Dummy d{7};
+  const uint64_t w = pack_ptr(&d, kMark | kDesc);
+  EXPECT_EQ(without_tags(w), reinterpret_cast<uint64_t>(&d));
+  EXPECT_EQ(tags_of(w), kMark | kDesc);
+}
+
+TEST(MarkedPtr, NullPointerStaysNull) {
+  const uint64_t w = pack_ptr<Dummy>(nullptr, kMark);
+  EXPECT_EQ(unpack_ptr<Dummy>(w), nullptr);
+  EXPECT_TRUE(is_marked(w));
+}
+
+TEST(MarkedPtr, MarkIsIdempotent) {
+  Dummy d{1};
+  const uint64_t w = pack_ptr(&d, kMark);
+  EXPECT_EQ(with_mark(w), w);
+}
+
+}  // namespace
+}  // namespace skiptrie

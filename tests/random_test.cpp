@@ -1,0 +1,117 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace skiptrie {
+namespace {
+
+TEST(Random, SplitmixDeterministic) {
+  uint64_t a = 42, b = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(a), splitmix64(b));
+  }
+}
+
+TEST(Random, SplitmixAdvancesState) {
+  uint64_t s = 42;
+  const uint64_t v1 = splitmix64(s);
+  const uint64_t v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+}
+
+TEST(Random, Mix64AvalanchesLowBits) {
+  // Consecutive inputs should produce wildly different outputs.
+  int differing_high_bits = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    if ((mix64(i) >> 32) != (mix64(i + 1) >> 32)) differing_high_bits++;
+  }
+  EXPECT_GE(differing_high_bits, 60);
+}
+
+TEST(Random, XoshiroDeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  bool any_diff = false;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, NextBelowRespectsBound) {
+  Xoshiro256 rng(123);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, NextBelowRoughlyUniform) {
+  Xoshiro256 rng(99);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) buckets[rng.next_below(10)]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 10 - n / 50);
+    EXPECT_LT(b, n / 10 + n / 50);
+  }
+}
+
+TEST(Random, GeometricHeightMatchesHalving) {
+  // P(h >= k) should be ~2^-k: this is the paper's tower-height coin.
+  Xoshiro256 rng(2026);
+  const int n = 200000;
+  std::vector<int> at_least(8, 0);
+  for (int i = 0; i < n; ++i) {
+    const uint32_t h = rng.geometric_height(16);
+    for (uint32_t k = 0; k < 8; ++k) {
+      if (h >= k) at_least[k]++;
+    }
+  }
+  for (uint32_t k = 1; k < 8; ++k) {
+    const double p = static_cast<double>(at_least[k]) / n;
+    const double expect = std::pow(0.5, k);
+    EXPECT_NEAR(p, expect, expect * 0.2) << "k=" << k;
+  }
+}
+
+TEST(Random, GeometricHeightRespectsCap) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(rng.geometric_height(3), 3u);
+  }
+  // Cap 0 always returns 0.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.geometric_height(0), 0u);
+  }
+}
+
+TEST(Random, TopLevelRiseProbabilityIsOneOverLogU) {
+  // For B = 32 (top = 5): P(height == 5) should be ~1/32, the paper's
+  // 1/log u trie-insertion rate.
+  Xoshiro256 rng(77);
+  const int n = 400000;
+  int tops = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.geometric_height(5) == 5) tops++;
+  }
+  const double p = static_cast<double>(tops) / n;
+  EXPECT_NEAR(p, 1.0 / 32.0, 0.006);
+}
+
+}  // namespace
+}  // namespace skiptrie

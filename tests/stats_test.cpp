@@ -1,0 +1,65 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace skiptrie {
+namespace {
+
+TEST(Stats, AccumulateAndSubtract) {
+  StepCounters a;
+  a.node_hops = 10;
+  a.hash_probes = 3;
+  StepCounters b;
+  b.node_hops = 4;
+  b.hash_probes = 1;
+  b.cas_attempts = 2;
+
+  StepCounters sum = a;
+  sum += b;
+  EXPECT_EQ(sum.node_hops, 14u);
+  EXPECT_EQ(sum.hash_probes, 4u);
+  EXPECT_EQ(sum.cas_attempts, 2u);
+
+  const StepCounters diff = sum - b;
+  EXPECT_EQ(diff.node_hops, a.node_hops);
+  EXPECT_EQ(diff.hash_probes, a.hash_probes);
+  EXPECT_EQ(diff.cas_attempts, 0u);
+}
+
+TEST(Stats, SearchStepsDefinition) {
+  StepCounters c;
+  c.node_hops = 5;
+  c.hash_probes = 2;
+  c.back_steps = 1;
+  c.prev_steps = 1;
+  c.cas_attempts = 100;  // writes are not search steps
+  EXPECT_EQ(c.search_steps(), 9u);
+  EXPECT_GT(c.total_steps(), c.search_steps());
+}
+
+TEST(Stats, ThreadLocalIsolation) {
+  tls_counters().node_hops = 0;
+  tls_counters().node_hops += 7;
+  uint64_t other_thread_value = 1;
+  std::thread t([&] { other_thread_value = tls_counters().node_hops; });
+  t.join();
+  EXPECT_EQ(other_thread_value, 0u);
+  EXPECT_EQ(tls_counters().node_hops, 7u);
+  tls_counters() = StepCounters{};
+}
+
+TEST(Stats, SnapshotDelta) {
+  tls_counters() = StepCounters{};
+  const StepCounters before = snapshot_counters();
+  tls_counters().node_hops += 3;
+  tls_counters().restarts += 1;
+  const StepCounters delta = snapshot_counters() - before;
+  EXPECT_EQ(delta.node_hops, 3u);
+  EXPECT_EQ(delta.restarts, 1u);
+  tls_counters() = StepCounters{};
+}
+
+}  // namespace
+}  // namespace skiptrie

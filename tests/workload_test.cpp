@@ -1,0 +1,99 @@
+// Workload-driver and distribution-generator behavior.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/skiptrie.h"
+#include "workload/driver.h"
+
+namespace skiptrie {
+namespace {
+
+TEST(Workload, OpMixFractionsRespected) {
+  Config c;
+  c.universe_bits = 16;
+  SkipTrie t(c);
+  WorkloadConfig wc;
+  wc.threads = 2;
+  wc.ops_per_thread = 30000;
+  wc.mix = OpMix{0.2, 0.1, 0.4};  // remainder 0.3 -> contains
+  wc.key_space = 1u << 12;
+  const auto r = run_workload(t, wc);
+  const double n = static_cast<double>(r.total_ops);
+  EXPECT_NEAR(r.inserts / n, 0.2, 0.02);
+  EXPECT_NEAR(r.erases / n, 0.1, 0.02);
+  EXPECT_NEAR(r.preds / n, 0.4, 0.02);
+  EXPECT_NEAR(r.lookups / n, 0.3, 0.02);
+}
+
+TEST(Workload, PrefillHappensBeforeTiming) {
+  Config c;
+  c.universe_bits = 20;
+  SkipTrie t(c);
+  WorkloadConfig wc;
+  wc.threads = 1;
+  wc.ops_per_thread = 100;
+  wc.mix = OpMix::read_only();
+  wc.prefill = 5000;
+  wc.key_space = 1u << 16;
+  const auto r = run_workload(t, wc);
+  EXPECT_GE(t.size(), 4000u);            // prefill landed
+  EXPECT_EQ(r.total_ops, 100u);          // but wasn't counted
+  EXPECT_GT(r.pred_hits, 0u);            // and queries can see it
+}
+
+TEST(Workload, DeterministicAcrossRunsSameSeed) {
+  WorkloadConfig wc;
+  wc.threads = 1;
+  wc.ops_per_thread = 20000;
+  wc.key_space = 1u << 10;
+  wc.seed = 77;
+
+  Config c;
+  c.universe_bits = 16;
+  SkipTrie a(c), b(c);
+  const auto ra = run_workload(a, wc);
+  const auto rb = run_workload(b, wc);
+  EXPECT_EQ(ra.insert_hits, rb.insert_hits);
+  EXPECT_EQ(ra.erase_hits, rb.erase_hits);
+  EXPECT_EQ(ra.pred_hits, rb.pred_hits);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(Workload, StepsAggregateAcrossThreads) {
+  Config c;
+  c.universe_bits = 16;
+  SkipTrie t(c);
+  WorkloadConfig wc;
+  wc.threads = 4;
+  wc.ops_per_thread = 5000;
+  wc.prefill = 1000;
+  wc.key_space = 1u << 12;
+  const auto r = run_workload(t, wc);
+  // Every op does at least one hop; the aggregate must reflect all threads.
+  EXPECT_GE(r.steps.node_hops, r.total_ops);
+}
+
+TEST(Workload, ClusteredKeysStayInClusters) {
+  KeyGenerator gen(KeyDist::kClustered, 1u << 20, 5, 0.99, 4, 64);
+  std::map<uint64_t, int> buckets;  // cluster base -> hits
+  for (int i = 0; i < 10000; ++i) {
+    buckets[gen.next() / 4096]++;
+  }
+  // 4 clusters of span 64 -> at most ~8 distinct 4K-buckets (clusters can
+  // straddle a boundary or wrap).
+  EXPECT_LE(buckets.size(), 8u);
+}
+
+TEST(Workload, ZipfSeedsGiveDistinctStreams) {
+  KeyGenerator a(KeyDist::kZipf, 1u << 16, 1);
+  KeyGenerator b(KeyDist::kZipf, 1u << 16, 2);
+  int diff = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() != b.next()) diff++;
+  }
+  EXPECT_GT(diff, 50);
+}
+
+}  // namespace
+}  // namespace skiptrie

@@ -29,6 +29,11 @@ bool LockFreeSkipList::insert(uint64_t key) {
   const uint32_t h =
       baseline_rng(seed_).geometric_height(engine_.top_level());
   const auto r = engine_.insert(x, engine_.head(engine_.top_level()), h);
+  if (r.undone_top != nullptr) {
+    // No trie indexes the baseline, so a CAS-fallback top-level undo needs
+    // no sweep — just give the storage back.
+    engine_.retire_node(r.undone_top);
+  }
   if (r.inserted) size_.fetch_add(1, std::memory_order_relaxed);
   return r.inserted;
 }

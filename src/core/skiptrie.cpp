@@ -57,6 +57,13 @@ bool SkipTrie::insert(uint64_t key) {
   if (r.top != nullptr) {
     trie_.insert_prefixes(key, r.top);
   }
+  if (r.undone_top != nullptr) {
+    // CAS-fallback top-level undo (DESIGN.md §3.5(5)): the node was briefly
+    // linked at the top, so a concurrent Alg. 7 swing may have installed it
+    // into the trie.  Sweep before its storage can be recycled.
+    trie_.remove_prefixes(key, r.undone_top, nullptr);
+    engine_.retire_node(r.undone_top);
+  }
   return true;
 }
 

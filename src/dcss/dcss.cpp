@@ -1,6 +1,7 @@
 #include "dcss/dcss.h"
 
 #include <cassert>
+#include <functional>
 
 #include "common/stats.h"
 
@@ -19,8 +20,10 @@ struct alignas(16) Descriptor {
   std::atomic<uint32_t> outcome{kUndecided};
 };
 
-// Logical value of a word that may hold a descriptor: read through without
-// helping (linearizes the read at the moment the outcome was loaded).
+// Logical value of a word that may hold a *settled* descriptor: read through
+// decided descriptors (linearizes the read at the moment the outcome was
+// loaded).  Used for failure witnesses, where an undecided descriptor's
+// expected value is an acceptable answer.
 uint64_t read_through(uint64_t w) {
   while (is_desc(w)) {
     auto* d = unpack_ptr<Descriptor>(w);
@@ -30,13 +33,52 @@ uint64_t read_through(uint64_t w) {
   return w;
 }
 
+void help(Descriptor* d);
+
+// Evaluate the logical value of d's guard word for d's decision.  A foreign
+// UNDECIDED descriptor occupying the guard must not be read through blindly:
+// with *crossed* guards — two DCSS operations each guarding the other's
+// target, as in the trie's entry-kill protocol (condemn ptrs[0] guarded on
+// ptrs[1]==0, vs. install into ptrs[1] guarded on ptrs[0]) — blind
+// read-through lets BOTH decide success, writing a state neither guard
+// permits.  Serialize by target-address order instead: complete the
+// lower-target descriptor, force-abort the higher one.  A forced abort is a
+// spurious DCSS failure, which is benign because guard_failed never carries
+// semantic weight on its own: every caller either retries after re-reading
+// the world (trie swings, raise_level re-checks stopw at its loop head) or
+// was writing a best-effort guide (make_done) — and the strict ordering
+// both breaks helping cycles and guarantees one of two crossed operations
+// always wins.
+uint64_t guard_value(Descriptor* d) {
+  auto& c = tls_counters();
+  for (;;) {
+    const uint64_t w = d->guard->load(std::memory_order_seq_cst);
+    if (!is_desc(w)) return w;
+    auto* e = unpack_ptr<Descriptor>(w);
+    const uint32_t out = e->outcome.load(std::memory_order_acquire);
+    if (out != kUndecided) {
+      return out == kSuccess ? e->desired : e->expected;
+    }
+    if (std::less<std::atomic<uint64_t>*>{}(e->target, d->target)) {
+      c.dcss_helps++;
+      help(e);  // strictly decreasing target addresses: no cycle
+      continue;
+    }
+    c.dcss_helps++;  // settling e on its behalf, by aborting it
+    uint32_t expect = kUndecided;
+    e->outcome.compare_exchange_strong(expect, kFail,
+                                       std::memory_order_acq_rel);
+    // e is now settled either way; the next iteration reads its outcome.
+  }
+}
+
 // Complete an installed descriptor: decide, then uninstall.  Idempotent and
 // safe to run from any thread (helpers), as long as the caller is pinned so
 // the descriptor memory is live.
 void help(Descriptor* d) {
   uint32_t out = d->outcome.load(std::memory_order_acquire);
   if (out == kUndecided) {
-    const uint64_t g = read_through(d->guard->load(std::memory_order_seq_cst));
+    const uint64_t g = guard_value(d);
     const uint32_t decided = (g == d->guard_expected) ? kSuccess : kFail;
     uint32_t expect = kUndecided;
     d->outcome.compare_exchange_strong(expect, decided,

@@ -23,11 +23,15 @@
 //
 // Guard words may themselves be DCSS targets (the paper guards on `next`
 // words that other operations DCSS).  Unlike the original RDCSS we do not
-// forbid this; instead guard evaluation *reads through* an installed
-// descriptor: while a descriptor is installed and undecided the word's
-// logical value is its `expected`, afterwards it is `desired`/`expected`
-// according to the outcome.  Reading through is linearizable and needs no
-// recursion, so mutual helping cycles cannot arise.
+// forbid this.  A decided descriptor found in a guard word is read through
+// (`desired`/`expected` per its outcome).  An UNDECIDED descriptor must not
+// be read through blindly — with crossed guards (two operations each
+// guarding the other's target) both could decide success — so guard
+// evaluation serializes by target-address order: it helps complete a
+// lower-target descriptor and force-aborts a higher-target one (a spurious
+// but benign failure; callers retry on guard_failed).  The strict order
+// both prevents mutual-helping cycles and guarantees exactly one of two
+// crossed operations wins.
 //
 // The paper proves the SkipTrie remains linearizable and lock-free when DCSS
 // is replaced by plain CAS (dropping the guard).  DcssMode::kCasFallback

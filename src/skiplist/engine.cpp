@@ -19,7 +19,6 @@ constexpr int kFixPrevRetries = 128;
 // Bound on equal-key runs scanned when locating a tower node.
 constexpr uint32_t kEqualRunLimit = 64;
 
-enum class RaiseStatus { kOk, kStoppedUnpublished, kStoppedPublished };
 }  // namespace
 
 SkipListEngine::SkipListEngine(DcssContext ctx, SlabArena& arena,
@@ -232,13 +231,20 @@ Node* SkipListEngine::walk_left(uint64_t x, Node* from) {
   }
 }
 
-bool SkipListEngine::raise_level(Node* root, Node* nnode, uint64_t x,
-                                 uint32_t lvl, Node*& hint) {
+SkipListEngine::RaiseStatus SkipListEngine::raise_level(Node* root,
+                                                        Node* nnode,
+                                                        uint64_t x,
+                                                        uint32_t lvl,
+                                                        Node*& hint) {
   for (;;) {
-    if (root->stopw.load(std::memory_order_seq_cst) != 0) return false;
+    if (root->stopw.load(std::memory_order_seq_cst) != 0) {
+      return RaiseStatus::kStoppedUnpublished;
+    }
     Bracket b = list_search(x, hint, lvl);
     hint = b.left;
-    if (b.right->ikey() == x) return false;  // same key already at this level
+    if (b.right->ikey() == x) {
+      return RaiseStatus::kStoppedUnpublished;  // same key already here
+    }
     nnode->next.store(pack_ptr(b.right), std::memory_order_relaxed);
     // The paper (§2): "Each insertion is conditioned on the stop flag of the
     // root remaining unset" — DCSS on the predecessor link guarded by stopw.
@@ -251,15 +257,31 @@ bool SkipListEngine::raise_level(Node* root, Node* nnode, uint64_t x,
         // a delete claimed the tower; undo our own link so the deleter's
         // sweep cannot strand this node (DESIGN.md §3.5(5)).
         if (mark_node(nnode, b.left)) {
+          if (lvl == top_) {
+            // Mirror the mark into the prev word (as erase does) so Alg. 7
+            // forward-swing guards on (prev, marked) fail for this node.
+            set_prev_mark(nnode);
+          }
           list_search(x, b.left, lvl);  // ensure physically unlinked
+          if (lvl == top_) {
+            // While linked at the top level the node may have been
+            // installed into the x-fast trie by a concurrent Alg. 7 swing;
+            // the caller must run the trie sweep before retiring it
+            // (DESIGN.md §3.5(5)).  Below the top no trie pointer can name
+            // it, so retiring immediately is safe.
+            return RaiseStatus::kStoppedPublished;
+          }
           retire_node(nnode);
         }
-        return false;
+        return RaiseStatus::kStoppedUnpublished;
       }
-      return true;
+      return RaiseStatus::kOk;
     }
-    if (r.guard_failed) return false;
-    // Link target changed; retry from the updated hint.
+    // On any failure, retry from the loop head: the stopw re-check there is
+    // the authoritative stop signal.  guard_failed alone is not — guard
+    // evaluation may spuriously abort our descriptor to serialize against a
+    // crossed DCSS (see dcss.cpp guard_value), so treating it as "claimed"
+    // would silently truncate the tower below its drawn height.
   }
 }
 
@@ -291,12 +313,19 @@ SkipListEngine::InsertResult SkipListEngine::insert(uint64_t x, Node* start,
   Node* below = root;
   for (uint32_t lvl = 1; lvl <= height; ++lvl) {
     Node* n = make_node(x, lvl, height, below, root);
-    if (!raise_level(root, n, x, lvl, hints[lvl])) {
+    const RaiseStatus st = raise_level(root, n, x, lvl, hints[lvl]);
+    if (st == RaiseStatus::kStoppedPublished) {
+      // CAS-fallback undo at the top level: n is marked (we own it) but may
+      // have entered the trie while linked; the caller sweeps, then retires.
+      res.undone_top = n;
+      return res;
+    }
+    if (st == RaiseStatus::kStoppedUnpublished) {
       // raise_level either never published n (common case) or already
-      // retired it (CAS-fallback undo, in which case it was marked and the
-      // mark winner owns it — raise_level handled that internally and n
-      // must not be touched again).  Distinguish via the mark: an
-      // unpublished node is still unmarked.
+      // retired it (CAS-fallback undo below the top, in which case it was
+      // marked and the mark winner owns it — raise_level handled that
+      // internally and n must not be touched again).  Distinguish via the
+      // mark: an unpublished node is still unmarked.
       if (!is_marked(n->next.load(std::memory_order_acquire))) {
         n->poison();
         arena_.recycle(n);

@@ -45,6 +45,11 @@ class SkipListEngine {
   struct InsertResult {
     Node* root = nullptr;  // level-0 node; nullptr if the key was present
     Node* top = nullptr;   // top-level node if the tower reached top_level
+    // CAS-fallback only: a top-level node we linked, then marked and
+    // unlinked because a delete had already claimed the tower (DESIGN.md
+    // §3.5(5)).  The caller must run the trie sweep for it, then
+    // retire_node() it — while linked it may have entered the trie.
+    Node* undone_top = nullptr;
     bool inserted = false;
   };
 
@@ -114,14 +119,22 @@ class SkipListEngine {
                   Node* down, Node* root);
 
  private:
+  enum class RaiseStatus {
+    kOk,                   // linked at this level
+    kStoppedUnpublished,   // not linked (or undone and already retired)
+    kStoppedPublished,     // top-level CAS-fallback undo: caller must
+                           // trie-sweep then retire the marked node
+  };
+
   bool usable_start(Node* n, uint64_t x, uint32_t level) const;
   // Marks n (setting back to back_hint first).  Returns true iff this call's
   // CAS performed the unmarked->marked transition (ownership for retiring).
   bool mark_node(Node* n, Node* back_hint);
   void set_prev_mark(Node* n);
-  // Raise the tower one level; false if stopped or a same-key node exists.
-  bool raise_level(Node* root, Node* nnode, uint64_t x, uint32_t lvl,
-                   Node*& hint);
+  // Raise the tower one level; stopped when claimed or a same-key node
+  // exists at the level.
+  RaiseStatus raise_level(Node* root, Node* nnode, uint64_t x, uint32_t lvl,
+                          Node*& hint);
   // Find the tower node of `root` at `level` (walking equal-key runs);
   // nullptr if not present.
   Node* find_tower_node(uint64_t x, Node* root, uint32_t level, Node*& left);

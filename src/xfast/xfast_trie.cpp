@@ -8,11 +8,6 @@
 namespace skiptrie {
 
 namespace {
-// After this many failed guarded swings in the delete sweep we fall back to
-// clearing the pointer with plain CAS — the paper's CAS fallback, trading
-// trie coverage (repaired by later inserts) for guaranteed termination.
-constexpr int kSwingLimit = 64;
-
 // A trie child pointer should name a live top-level interior node; heads,
 // tails and poisoned storage read as ikey 0 / UINT64_MAX.
 inline bool plausible_candidate(uint64_t ik) {
@@ -22,8 +17,8 @@ inline bool plausible_candidate(uint64_t ik) {
 
 XFastTrie::XFastTrie(DcssContext ctx, SkipListEngine& engine, uint32_t bits,
                      size_t max_hash_buckets)
-    : ctx_(ctx), engine_(engine), bits_(bits),
-      map_(ctx, max_hash_buckets) {
+    : ctx_(ctx), strict_ctx_{ctx.ebr, DcssMode::kDcss}, engine_(engine),
+      bits_(bits), map_(strict_ctx_, max_hash_buckets) {
   assert(bits_ >= 4 && bits_ <= 64);
   root_ = new TreeNode();
   const bool ok = map_.insert(encode_prefix(0, 0, bits_),
@@ -46,9 +41,9 @@ size_t XFastTrie::approx_bytes() const {
 }
 
 Node* XFastTrie::lowest_ancestor(uint64_t key, uint64_t x) {
-  // Algorithm 3 as a classic binary search on prefix length (DESIGN.md
-  // §3.5(4)).  Tracks the "best" candidate seen — the top-level node whose
-  // key is closest to x (paper lines 10-13).
+  // Algorithm 3 as a classic binary search on prefix length, see
+  // DESIGN.md §3.5(4).  Tracks the "best" candidate seen — the top-level
+  // node whose key is closest to x (paper lines 10-13).
   Node* best = nullptr;
   uint64_t best_dist = UINT64_MAX;
   auto consider = [&](uint64_t word) {
@@ -97,127 +92,197 @@ Node* XFastTrie::pred_start(uint64_t key, uint64_t x) {
   return engine_.walk_left(x, anc);
 }
 
-void XFastTrie::insert_prefixes(uint64_t key, Node* node) {
+bool XFastTrie::kill_entry(uint64_t p, TreeNode* tn) {
+  // Irreversible entry removal (DESIGN.md §3.5(3)).  The naive protocol —
+  // read (0, 0), then compareAndDelete — loses concurrent inserts: a writer
+  // can install its node into ptrs[d] between the read and the unlink, and
+  // the write silently disappears with the entry.  Instead, death is made
+  // irreversible *per word* before the unlink:
+  //
+  //   1. condemn ptrs[0]: DCSS 0 -> kMark, guarded on ptrs[1] == 0;
+  //   2. condemn ptrs[1]: CAS 0 -> kMark (no live write can land once
+  //      ptrs[0] carries the tombstone, because empty-word installs are
+  //      DCSS-guarded on the opposite word — see cover_level);
+  //   3. unlink from the hash table; the CAD winner retires the TreeNode.
+  //
+  // Writers that observe a tombstone help finish the kill and then recreate
+  // a fresh entry, so no install can ever be resurrected-over or lost.
+  for (;;) {
+    const uint64_t q0 = dcss_read(tn->ptrs[0]);
+    const uint64_t q1 = dcss_read(tn->ptrs[1]);
+    if ((q0 != 0 && q0 != kMark) || (q1 != 0 && q1 != kMark)) {
+      return false;  // a side is live: the entry is not killable
+    }
+    if (q0 == 0) {
+      dcss(strict_ctx_, tn->ptrs[0], 0, kMark, tn->ptrs[1], 0);
+      continue;  // re-examine: either condemned or a writer won the word
+    }
+    if (q1 == 0) {
+      counted_cas(tn->ptrs[1], 0, kMark);
+      continue;
+    }
+    // Both sides tombstoned: dead for good.  Exactly one unlinker wins the
+    // compareAndDelete and owns the retirement.
+    if (map_.compare_and_delete(p, reinterpret_cast<uint64_t>(tn))) {
+      ctx_.ebr->retire_delete(tn);
+    }
+    return true;
+  }
+}
+
+bool XFastTrie::cover_level(uint64_t p, uint32_t len, uint64_t d,
+                            Node* node) {
   auto& c = tls_counters();
+  for (;;) {
+    c.trie_level_ops++;
+    const uint64_t nodeword = dcss_read(node->next);
+    if (is_marked(nodeword)) return false;  // node deleted: stop climbing
+    const auto found = map_.lookup(p);
+    if (!found.has_value()) {
+      // Create the prefix entry (Alg. 6 lines 9-12); the hash insert is
+      // DCSS-guarded on node staying unmarked (DESIGN.md §3.5(1)) so a
+      // trie entry can never be born pointing at a marked node.
+      auto* tn = new TreeNode();
+      tn->ptrs[d].store(pack_ptr(node), std::memory_order_relaxed);
+      bool guard_failed = false;
+      if (map_.insert(p, reinterpret_cast<uint64_t>(tn), &node->next,
+                      nodeword, &guard_failed)) {
+        return true;  // crossed this level
+      }
+      delete tn;
+      continue;  // entry appeared or node's next changed; re-examine
+    }
+    auto* tn = reinterpret_cast<TreeNode*>(*found);
+    const uint64_t curr = dcss_read(tn->ptrs[d]);
+    const uint64_t other = dcss_read(tn->ptrs[1 - d]);
+    if (curr == kMark || other == kMark) {
+      // The entry is being killed (DESIGN.md §3.5(3)): help finish, then
+      // re-examine from scratch — the next iteration recreates a fresh
+      // entry (Alg. 6 lines 13-14).  (The root entry is never condemned;
+      // the len guard is belt-and-suspenders.)
+      if (len > 0) kill_entry(p, tn);
+      continue;
+    }
+    Node* cn = unpack_ptr<Node>(curr);
+    if (cn != nullptr) {
+      const uint64_t ck = cn->ikey();
+      const uint64_t nk = node->ikey();
+      if (plausible_candidate(ck) && is_marked(dcss_read(cn->next))) {
+        // A marked candidate neither covers (its delete sweep may already
+        // be past this prefix) nor may we simply overwrite it with our own
+        // node: the candidate may be covering *other* live keys between
+        // ours and it, and replacing it with a smaller key would strand
+        // them while its deleter — finding the word no longer naming its
+        // node — skips the repair.  Help the deleter instead: perform its
+        // Alg. 7 swing to the candidate's top-level neighbor (which covers
+        // everything the candidate covered), then re-examine.
+        Node* hint = engine_.head(engine_.top_level());
+        sweep_level(p, len, d, ck, cn, hint);
+        continue;
+      }
+      const bool covered = plausible_candidate(ck) &&
+                           ((d == 0) ? ck >= nk : ck <= nk);
+      if (covered) return true;  // adequately represented (Alg. 6 line 17)
+      // Swing the live pointer to node, conditioned on node remaining
+      // unmarked (Alg. 6 lines 18-19).  While ptrs[d] is non-empty the
+      // entry cannot die, so no liveness guard is needed here.  (An
+      // unmarked candidate below ours cannot be covering anyone we would
+      // strand: coverage is monotone — see DESIGN.md §3.4.)
+      const DcssResult r = dcss(strict_ctx_, tn->ptrs[d], curr,
+                                pack_ptr(node), node->next, nodeword);
+      if (r.success) return true;
+      continue;  // value or mark moved; re-read and re-check
+    }
+    // Empty word.  The install must be guarded on the *opposite* word so it
+    // cannot race kill_entry's condemnation of this side (an equality guard
+    // on ptrs[1-d] == other fails if the entry started dying, and
+    // kill_entry's own guard fails if we won first).  This gives up the
+    // node-unmarked guard, so compensate after the fact: if node got marked,
+    // its deleter may already have swept past this prefix — run the
+    // deleter's level sweep ourselves (DESIGN.md §3.5(3)).
+    const DcssResult r = dcss(strict_ctx_, tn->ptrs[d], 0, pack_ptr(node),
+                              tn->ptrs[1 - d], other);
+    if (!r.success) continue;
+    if (is_marked(dcss_read(node->next))) {
+      Node* hint = engine_.head(engine_.top_level());
+      sweep_level(p, len, d, node->ikey(), node, hint);
+      return false;
+    }
+    return true;
+  }
+}
+
+void XFastTrie::insert_prefixes(uint64_t key, Node* node) {
   // Bottom-up: longest proper prefix first (Alg. 6 line 5).
   for (int len = static_cast<int>(bits_) - 1; len >= 0; --len) {
     const uint64_t p = encode_prefix(key, static_cast<uint32_t>(len), bits_);
     const uint64_t d = key_bit(key, static_cast<uint32_t>(len), bits_);
-    for (;;) {
-      c.trie_level_ops++;
-      const uint64_t nodeword = dcss_read(node->next);
-      if (is_marked(nodeword)) return;  // node deleted: stop raising prefixes
-      const auto found = map_.lookup(p);
-      if (!found.has_value()) {
-        // Create the prefix entry (Alg. 6 lines 9-12); the hash insert is
-        // DCSS-guarded on node staying unmarked (DESIGN.md §3.5(1)) so a
-        // trie entry can never be born pointing at a marked node.
-        auto* tn = new TreeNode();
-        tn->ptrs[d].store(pack_ptr(node), std::memory_order_relaxed);
-        bool guard_failed = false;
-        if (map_.insert(p, reinterpret_cast<uint64_t>(tn), &node->next,
-                        nodeword, &guard_failed)) {
-          break;  // crossed this level
-        }
-        delete tn;
-        continue;  // entry appeared or node's next changed; re-examine
-      }
-      auto* tn = reinterpret_cast<TreeNode*>(*found);
-      const uint64_t p0 = dcss_read(tn->ptrs[0]);
-      const uint64_t p1 = dcss_read(tn->ptrs[1]);
-      if (len > 0 && p0 == 0 && p1 == 0) {
-        // Slated for deletion: help remove it, then retry this level
-        // (Alg. 6 lines 13-14).
-        if (map_.compare_and_delete(p, reinterpret_cast<uint64_t>(tn))) {
-          ctx_.ebr->retire_delete(tn);
-        }
-        continue;
-      }
-      const uint64_t curr = (d == 0) ? p0 : p1;
-      Node* cn = unpack_ptr<Node>(curr);
-      if (cn != nullptr) {
-        const uint64_t ck = cn->ikey();
-        const uint64_t nk = node->ikey();
-        const bool covered = plausible_candidate(ck) &&
-                             ((d == 0) ? ck >= nk : ck <= nk);
-        if (covered) break;  // adequately represented (Alg. 6 line 17)
-      }
-      // Swing the pointer to node, conditioned on node remaining unmarked
-      // (Alg. 6 lines 18-19).
-      const DcssResult r =
-          dcss(ctx_, tn->ptrs[d], curr, pack_ptr(node), node->next, nodeword);
-      if (r.success) break;
-      // Guard failure may mean the node was marked OR merely that its next
-      // pointer moved; the loop re-reads and re-checks the mark.
+    if (!cover_level(p, static_cast<uint32_t>(len), d, node)) return;
+  }
+}
+
+void XFastTrie::sweep_level(uint64_t p, uint32_t len, uint64_t d, uint64_t x,
+                            Node* node, Node*& left_hint) {
+  auto& c = tls_counters();
+  const uint32_t top = engine_.top_level();
+  c.trie_level_ops++;
+  const auto found = map_.lookup(p);
+  if (!found.has_value()) return;  // Alg. 7 line 9
+  auto* tn = reinterpret_cast<TreeNode*>(*found);
+  uint64_t curr = dcss_read(tn->ptrs[d]);
+  // Unbounded like the paper's Alg. 7 loop: every failed swing means a
+  // concurrent operation changed the neighborhood, so lock-freedom holds.
+  // (A bounded clear-to-null fallback is NOT sound: it permanently trades
+  // away another live key's coverage, which later cascades into wrongful
+  // entry death — DESIGN.md §3.5(3).)
+  while (unpack_ptr<Node>(curr) == node) {
+    const SkipListEngine::Bracket b = engine_.list_search(x, left_hint, top);
+    left_hint = b.left;
+    if (d == 0) {
+      // Swing backwards to left, guarded on left unmarked and adjacent
+      // (Alg. 7 lines 13-14).
+      dcss(strict_ctx_, tn->ptrs[d], curr, pack_ptr(b.left), b.left->next,
+           pack_ptr(b.right));
+    } else {
+      // Swing forwards to right, guarded on (right.prev, right.marked)
+      // == (left, 0) (Alg. 7 lines 16-17).
+      engine_.make_done(b.left, b.right);
+      dcss(strict_ctx_, tn->ptrs[d], curr, pack_ptr(b.right), b.right->prevw,
+           pack_ptr(b.left));
     }
+    curr = dcss_read(tn->ptrs[d]);
+  }
+  // If the pointer left the p.d subtree entirely, the subtree is empty:
+  // clear it (Alg. 7 lines 19-20).
+  Node* cn = unpack_ptr<Node>(curr);
+  if (cn != nullptr) {
+    const uint64_t ck = cn->ikey();
+    const bool in_subtree =
+        plausible_candidate(ck) &&
+        cn->kind() == NodeKind::kInterior &&
+        prefix_matches(p, ck - 1, len, bits_);
+    if (!in_subtree) {
+      counted_cas(tn->ptrs[d], curr, 0);
+    }
+  }
+  // If both subtrees are empty, kill the entry (Alg. 7 lines 21-22, via the
+  // tombstone protocol).  The root (empty prefix) entry is permanent.
+  if (len > 0) {
+    kill_entry(p, tn);
   }
 }
 
 void XFastTrie::remove_prefixes(uint64_t key, Node* node,
                                 Node* top_left_hint) {
-  auto& c = tls_counters();
   const uint64_t x = node->ikey();
-  const uint32_t top = engine_.top_level();
-  Node* left_hint = top_left_hint != nullptr ? top_left_hint
-                                             : engine_.head(top);
+  Node* left_hint = top_left_hint != nullptr
+                        ? top_left_hint
+                        : engine_.head(engine_.top_level());
   // Top-down: shortest prefix first (Alg. 7 line 5).
   for (uint32_t len = 0; len < bits_; ++len) {
-    c.trie_level_ops++;
     const uint64_t p = encode_prefix(key, len, bits_);
     const uint64_t d = key_bit(key, len, bits_);
-    const auto found = map_.lookup(p);
-    if (!found.has_value()) continue;  // Alg. 7 line 9
-    auto* tn = reinterpret_cast<TreeNode*>(*found);
-    uint64_t curr = dcss_read(tn->ptrs[d]);
-    int spins = 0;
-    while (unpack_ptr<Node>(curr) == node) {
-      if (++spins > kSwingLimit) {
-        // Guaranteed-termination fallback: clear the pointer outright.
-        // Later inserts restore coverage; searches merely lose a hint.
-        counted_cas(tn->ptrs[d], curr, 0);
-        curr = dcss_read(tn->ptrs[d]);
-        continue;
-      }
-      const SkipListEngine::Bracket b = engine_.list_search(x, left_hint, top);
-      left_hint = b.left;
-      if (d == 0) {
-        // Swing backwards to left, guarded on left unmarked and adjacent
-        // (Alg. 7 lines 13-14).
-        dcss(ctx_, tn->ptrs[d], curr, pack_ptr(b.left), b.left->next,
-             pack_ptr(b.right));
-      } else {
-        // Swing forwards to right, guarded on (right.prev, right.marked)
-        // == (left, 0) (Alg. 7 lines 16-17).
-        engine_.make_done(b.left, b.right);
-        dcss(ctx_, tn->ptrs[d], curr, pack_ptr(b.right), b.right->prevw,
-             pack_ptr(b.left));
-      }
-      curr = dcss_read(tn->ptrs[d]);
-    }
-    // If the pointer left the p.d subtree entirely, the subtree is empty:
-    // clear it (Alg. 7 lines 19-20).
-    Node* cn = unpack_ptr<Node>(curr);
-    if (cn != nullptr) {
-      const uint64_t ck = cn->ikey();
-      const bool in_subtree =
-          plausible_candidate(ck) &&
-          cn->kind() == NodeKind::kInterior &&
-          prefix_matches(p, ck - 1, len, bits_);
-      if (!in_subtree) {
-        counted_cas(tn->ptrs[d], curr, 0);
-      }
-    }
-    // If both subtrees are empty, remove the entry (Alg. 7 lines 21-22).
-    // The root (empty prefix) entry is permanent.
-    if (len > 0) {
-      const uint64_t q0 = dcss_read(tn->ptrs[0]);
-      const uint64_t q1 = dcss_read(tn->ptrs[1]);
-      if (q0 == 0 && q1 == 0) {
-        if (map_.compare_and_delete(p, reinterpret_cast<uint64_t>(tn))) {
-          ctx_.ebr->retire_delete(tn);
-        }
-      }
-    }
+    sweep_level(p, len, d, x, node, left_hint);
   }
 }
 

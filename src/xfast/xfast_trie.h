@@ -56,7 +56,31 @@ class XFastTrie {
  private:
   Node* lowest_ancestor(uint64_t key, uint64_t x);
 
-  DcssContext ctx_;
+  // One level of Alg. 6: make the entry for prefix `p` cover `node` in
+  // direction `d`.  Returns false if node was marked (insert abandons the
+  // climb; the deleter owns cleanup).  See DESIGN.md §3.5(3) for the entry
+  // life cycle this participates in.
+  bool cover_level(uint64_t p, uint32_t len, uint64_t d, Node* node);
+
+  // One level of Alg. 7: swing the entry for prefix `p` off `node`, clear
+  // empty subtrees, and kill the entry when both sides are empty.
+  void sweep_level(uint64_t p, uint32_t len, uint64_t d, uint64_t x,
+                   Node* node, Node*& left_hint);
+
+  // Tombstone-based entry removal (DESIGN.md §3.5(3)): condemn ptrs[0]
+  // (0 -> kMark, DCSS-guarded on ptrs[1] == 0), then ptrs[1], then unlink
+  // from the hash table.  Returns false if a side is live (not killable).
+  bool kill_entry(uint64_t p, TreeNode* tn);
+
+  DcssContext ctx_;  // caller's context (EBR domain; mode governs the engine)
+  // ALL trie maintenance (swings, entry life cycle, the hash table's guarded
+  // insert) uses real DCSS even under DcssMode::kCasFallback: the fallback
+  // ablation applies to the skiplist engine's structural guards, where
+  // staleness is repaired lazily — but the quiescent trie-coverage invariant
+  // (checked by validate_structure in both modes) cannot survive unguarded
+  // swings, and entry death/installation atomicity keeps writes from being
+  // lost.  See DESIGN.md §3.1 and §3.5(3).
+  DcssContext strict_ctx_;
   SkipListEngine& engine_;
   const uint32_t bits_;
   SplitOrderedMap map_;

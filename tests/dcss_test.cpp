@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/spin_barrier.h"
 #include "common/stats.h"
 
 namespace skiptrie {
@@ -190,6 +191,41 @@ TEST_F(DcssTest, GuardOnDcssTargetWordReadsThrough) {
   // Progress happened and both words are clean values.
   EXPECT_FALSE(is_desc(a.load()));
   EXPECT_FALSE(is_desc(b.load()));
+}
+
+TEST_F(DcssTest, CrossedGuardsNeverBothSucceed) {
+  // Two DCSS operations, each guarding the OTHER's target, both from the
+  // (0, 0) state: sequentially one must fail (whichever runs second sees
+  // the other's write in its guard).  Blind read-through of undecided
+  // descriptors let both succeed — the bug that could half-kill an x-fast
+  // trie entry (DESIGN.md §3.5(3)); guard evaluation now serializes crossed
+  // descriptors by target-address order.
+  // The racy window needs true parallelism (both descriptors installed,
+  // neither decided), so scale the rounds to the hardware: on a single
+  // core this is only a smoke test.
+  const int rounds = std::thread::hardware_concurrency() >= 2 ? 2000 : 200;
+  for (int round = 0; round < rounds; ++round) {
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    DcssResult ra, rb;
+    SpinBarrier bar(2);
+    std::thread t1([&] {
+      EbrDomain::Guard g(ebr_);
+      bar.arrive_and_wait();
+      ra = dcss(ctx_, a, 0, 8, b, 0);
+    });
+    std::thread t2([&] {
+      EbrDomain::Guard g(ebr_);
+      bar.arrive_and_wait();
+      rb = dcss(ctx_, b, 0, 16, a, 0);
+    });
+    t1.join();
+    t2.join();
+    ASSERT_FALSE(ra.success && rb.success) << "round " << round;
+    // And the words reflect the outcomes exactly.
+    ASSERT_EQ(dcss_read(a), ra.success ? 8u : 0u) << "round " << round;
+    ASSERT_EQ(dcss_read(b), rb.success ? 16u : 0u) << "round " << round;
+  }
 }
 
 }  // namespace

@@ -210,8 +210,11 @@ TEST_F(EngineTest, ManyKeysSortedAtEveryLevel) {
       prev = n->ikey();
       ++count;
     }
-    if (l == 0) EXPECT_EQ(count, keys.size());
-    if (l > 0) EXPECT_LT(count, keys.size());  // truncation thins levels
+    if (l == 0) {
+      EXPECT_EQ(count, keys.size());
+    } else {
+      EXPECT_LT(count, keys.size());  // truncation thins levels
+    }
   }
 }
 

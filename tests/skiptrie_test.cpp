@@ -98,7 +98,9 @@ TEST(SkipTrie, DenseRange) {
   for (uint64_t k = 100; k < 200; ++k) {
     EXPECT_TRUE(t.contains(k));
     EXPECT_EQ(t.predecessor(k).value(), k);
-    if (k > 100) EXPECT_EQ(t.strict_predecessor(k).value(), k - 1);
+    if (k > 100) {
+      EXPECT_EQ(t.strict_predecessor(k).value(), k - 1);
+    }
   }
   for (uint64_t k = 100; k < 200; k += 2) EXPECT_TRUE(t.erase(k));
   for (uint64_t k = 100; k < 200; ++k) {

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Fail if any `DESIGN.md §X[.Y][(Z)]` citation in the sources names a section
+# (or numbered deviation item) that does not exist in DESIGN.md.
+#
+# Wired into ctest (see CMakeLists.txt); run manually from the repo root:
+#   tools/check_design_refs.sh
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root" || exit 2
+
+design=DESIGN.md
+if [ ! -f "$design" ]; then
+  echo "check_design_refs: $design does not exist" >&2
+  exit 1
+fi
+
+# Collect citations.  Comments occasionally wrap right after "DESIGN.md", so
+# join each file's lines before matching (the section token itself never
+# wraps mid-token).
+refs=$(find src tests bench examples tools -type f \
+         \( -name '*.h' -o -name '*.cpp' -o -name '*.cc' \) \
+         -exec cat {} + |
+       tr '\n' ' ' |
+       grep -oE 'DESIGN\.md[[:space:]/]*§[0-9]+(\.[0-9]+)*(\([0-9]+\))?' |
+       grep -oE '§[0-9]+(\.[0-9]+)*(\([0-9]+\))?' |
+       sort -u)
+
+if [ -z "$refs" ]; then
+  echo "check_design_refs: no DESIGN.md citations found in sources" >&2
+  exit 1
+fi
+
+status=0
+for ref in $refs; do
+  # §3.5(3) must resolve to item "(3)" under section 3.5; §3.3 to a "## 3.3"
+  # (or deeper) heading; bare §3 to a "## 3" heading.
+  section=${ref#§}
+  item=
+  case $section in
+    *\(*\))
+      item=$(printf '%s' "$section" | sed -n 's/.*\(([0-9]*)\)$/\1/p')
+      section=${section%%(*}
+      ;;
+  esac
+  if ! grep -qE "^#+ +(§ *)?${section}([^0-9.]|\$)" "$design"; then
+    echo "check_design_refs: cited section §${section} missing from $design" >&2
+    status=1
+    continue
+  fi
+  if [ -n "$item" ]; then
+    # The numbered deviation items are bold-led paragraphs: "**(3) ...".
+    if ! grep -qF "**${item}" "$design"; then
+      echo "check_design_refs: cited item §${section}${item} missing from $design" >&2
+      status=1
+    fi
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_design_refs: all $(printf '%s\n' "$refs" | wc -l | tr -d ' ') cited sections resolve"
+fi
+exit $status

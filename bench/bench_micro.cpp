@@ -1,15 +1,15 @@
-// Google-benchmark microbenchmarks for the core operations.
+// Microbenchmarks for the core operations, on the shared runner/emitter.
 //
 // Complements the table benches (which report the paper's step counts) with
 // tight wall-clock numbers per operation, sweeping the structure size, for
-// SkipTrie and the full-height skiplist baseline.
-#include <benchmark/benchmark.h>
+// SkipTrie and the full-height skiplist baseline; plus DCSS-vs-CAS-fallback
+// insert/erase and a small concurrent predecessor sweep.  Emits
+// BENCH_micro.json in the shared schema (micro cells + workload cells).
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include <cmath>
-
-#include "baseline/lockfree_skiplist.h"
 #include "bench_util.h"
-#include "core/skiptrie.h"
 
 using namespace skiptrie;
 using namespace skiptrie::bench;
@@ -18,100 +18,120 @@ namespace {
 
 constexpr uint32_t kBits = 32;
 
-void BM_SkipTriePredecessor(benchmark::State& state) {
-  const size_t m = static_cast<size_t>(state.range(0));
-  Config cfg;
-  cfg.universe_bits = kBits;
-  SkipTrie t(cfg);
-  fill_distinct(t, m, kBits, 1);
-  Xoshiro256 rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        t.predecessor(rng.next() & universe_mask(kBits)));
-  }
-  state.SetItemsProcessed(state.iterations());
+void micro_row(const char* name, uint64_t size, const Measured& m) {
+  std::printf("%-28s %-10llu %-12.1f %-12.1f\n", name,
+              static_cast<unsigned long long>(size), m.ns_per_op,
+              m.search_steps_per_op());
 }
-BENCHMARK(BM_SkipTriePredecessor)->Range(1 << 10, 1 << 20);
-
-void BM_SkipListPredecessor(benchmark::State& state) {
-  const size_t m = static_cast<size_t>(state.range(0));
-  LockFreeSkipList s(static_cast<uint32_t>(std::log2(m)) + 2);
-  fill_distinct(s, m, kBits, 1);
-  Xoshiro256 rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        s.predecessor(rng.next() & universe_mask(kBits)));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SkipListPredecessor)->Range(1 << 10, 1 << 20);
-
-void BM_SkipTrieContains(benchmark::State& state) {
-  Config cfg;
-  cfg.universe_bits = kBits;
-  SkipTrie t(cfg);
-  fill_distinct(t, 1 << 16, kBits, 2);
-  Xoshiro256 rng(9);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(t.contains(rng.next() & universe_mask(kBits)));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SkipTrieContains);
-
-void BM_SkipTrieInsertErase(benchmark::State& state) {
-  Config cfg;
-  cfg.universe_bits = kBits;
-  SkipTrie t(cfg);
-  fill_distinct(t, 1 << 14, kBits, 3);
-  Xoshiro256 rng(11);
-  for (auto _ : state) {
-    const uint64_t k = rng.next() & universe_mask(kBits);
-    if (!t.insert(k)) t.erase(k);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SkipTrieInsertErase);
-
-void BM_SkipTrieInsertEraseCasFallback(benchmark::State& state) {
-  Config cfg;
-  cfg.universe_bits = kBits;
-  cfg.dcss_mode = DcssMode::kCasFallback;
-  SkipTrie t(cfg);
-  fill_distinct(t, 1 << 14, kBits, 3);
-  Xoshiro256 rng(11);
-  for (auto _ : state) {
-    const uint64_t k = rng.next() & universe_mask(kBits);
-    if (!t.insert(k)) t.erase(k);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SkipTrieInsertEraseCasFallback);
-
-SkipTrie& shared_trie() {
-  // Constructed once on first use (any thread; magic statics synchronize),
-  // reused by every thread count, destroyed at process exit.
-  static SkipTrie* t = [] {
-    Config cfg;
-    cfg.universe_bits = kBits;
-    auto* p = new SkipTrie(cfg);
-    fill_distinct(*p, 1 << 16, kBits, 4);
-    return p;
-  }();
-  return *t;
-}
-
-void BM_SkipTrieConcurrentPred(benchmark::State& state) {
-  SkipTrie& t = shared_trie();
-  Xoshiro256 rng(21 + state.thread_index());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        t.predecessor(rng.next() & universe_mask(kBits)));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SkipTrieConcurrentPred)->Threads(1)->Threads(2)->Threads(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const std::string out_path = args.get("--out", "BENCH_micro.json");
+  const size_t queries = quick ? 20000 : 200000;
+
+  JsonWriter j;
+  j.begin_object();
+  write_suite_header(j, "bench_micro", git_rev(args), quick);
+  j.key("cells").begin_array();
+  j.newline();
+
+  header("micro: single-threaded ns/op and steps/op (B=32)");
+  std::printf("%-28s %-10s %-12s %-12s\n", "case", "size", "ns/op",
+              "steps/op");
+  row_sep(64);
+
+  // Predecessor as the structure grows: the SkipTrie's depth is fixed by the
+  // universe, the skiplist's by its contents.
+  const std::vector<size_t> sizes =
+      quick ? std::vector<size_t>{1 << 10, 1 << 14}
+            : std::vector<size_t>{1 << 10, 1 << 12, 1 << 14, 1 << 16,
+                                  1 << 18, 1 << 20};
+  for (const size_t m : sizes) {
+    const std::vector<uint64_t> q = random_queries(queries, kBits, 7);
+    {
+      Config cfg;
+      cfg.universe_bits = kBits;
+      SkipTrie t(cfg);
+      fill_distinct(t, m, kBits, 1);
+      const Measured r =
+          measure_ops(q, [&](uint64_t k) { (void)t.predecessor(k); });
+      micro_row("skiptrie/predecessor", m, r);
+      write_micro_cell(j, "micro_pred_size", "predecessor", "skiptrie", m,
+                       kBits, r);
+    }
+    {
+      LockFreeSkipList s(skiplist_levels_for(m));
+      fill_distinct(s, m, kBits, 1);
+      const Measured r =
+          measure_ops(q, [&](uint64_t k) { (void)s.predecessor(k); });
+      micro_row("skiplist/predecessor", m, r);
+      write_micro_cell(j, "micro_pred_size", "predecessor", "skiplist", m,
+                       kBits, r);
+    }
+  }
+  row_sep(64);
+
+  // Contains and insert/erase churn, DCSS vs the paper's CAS fallback.
+  {
+    Config cfg;
+    cfg.universe_bits = kBits;
+    SkipTrie t(cfg);
+    fill_distinct(t, 1 << 16, kBits, 2);
+    const std::vector<uint64_t> q = random_queries(queries, kBits, 9);
+    const Measured r = measure_ops(q, [&](uint64_t k) { (void)t.contains(k); });
+    micro_row("skiptrie/contains", 1 << 16, r);
+    write_micro_cell(j, "micro_ops", "contains", "skiptrie", 1 << 16, kBits, r);
+  }
+  for (const DcssMode mode : {DcssMode::kDcss, DcssMode::kCasFallback}) {
+    Config cfg;
+    cfg.universe_bits = kBits;
+    cfg.dcss_mode = mode;
+    SkipTrie t(cfg);
+    fill_distinct(t, 1 << 14, kBits, 3);
+    const std::vector<uint64_t> q = random_queries(queries, kBits, 11);
+    const Measured r = measure_ops(q, [&](uint64_t k) {
+      if (!t.insert(k)) t.erase(k);
+    });
+    const char* name = mode == DcssMode::kDcss ? "skiptrie/insert_erase"
+                                               : "skiptrie/insert_erase_cas";
+    micro_row(name, 1 << 14, r);
+    write_micro_cell(j, "micro_ops",
+                     mode == DcssMode::kDcss ? "insert_erase"
+                                             : "insert_erase_cas_fallback",
+                     "skiptrie", 1 << 14, kBits, r);
+  }
+
+  // Concurrent predecessor throughput via the shared workload runner.
+  header("micro: concurrent predecessor (read-only, uniform)");
+  std::printf("%-10s %-10s %-12s %-12s\n", "threads", "Mops/s", "steps/op",
+              "p99 ns");
+  row_sep(48);
+  for (const uint32_t threads : {1u, 2u, 4u}) {
+    CellSpec spec;
+    spec.section = "micro_concurrent_pred";
+    spec.structure = "skiptrie";
+    spec.mix_name = "read_only";
+    spec.universe_bits = kBits;
+    spec.wc.threads = threads;
+    spec.wc.ops_per_thread = (quick ? 10000u : 100000u) / threads;
+    spec.wc.mix = OpMix::read_only();
+    spec.wc.key_space = bench_key_space(kBits);
+    spec.wc.prefill = 1 << 16;
+    spec.wc.seed = 21 + threads;
+    const CellResult res = run_cell(spec);
+    std::printf("%-10u %-10.3f %-12.1f %-12.0f\n", threads, res.r.mops(),
+                res.r.search_steps_per_op(),
+                res.r.latency_percentile_ns(0.99));
+    write_cell(j, spec, res);
+  }
+
+  j.end_array();
+  j.end_object();
+  j.newline();
+  if (!write_file(out_path, j.str())) return 1;
+  std::printf("\n-> %s\n", out_path.c_str());
+  return 0;
+}

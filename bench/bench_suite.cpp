@@ -1,0 +1,297 @@
+// bench_suite — the unified benchmark driver.
+//
+// Sweeps {SkipTrie, lock-free skiplist baseline, locked std::map baseline}
+// x thread counts x op mixes x key distributions x universe bits and emits
+// every measured cell into a machine-readable BENCH_suite.json (schema in
+// README "Benchmarks").  Two sections:
+//
+//   universe_scaling  single-threaded predecessor-only cells whose prefill
+//                     grows with the universe (n ~ sqrt(u), capped): the
+//                     paper's headline contrast — SkipTrie search steps
+//                     track log log u while the skiplist baseline tracks
+//                     log n.
+//   grid              the full cross product at a fixed modest prefill:
+//                     throughput, latency percentiles and step attribution
+//                     under contention, skew and clustering.
+//
+// `--quick` shrinks every axis so the suite finishes in seconds; it is
+// registered in ctest so the subsystem cannot bit-rot.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace skiptrie;
+using namespace skiptrie::bench;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<uint32_t> split_csv_u32(const std::string& s) {
+  std::vector<uint32_t> out;
+  for (const std::string& tok : split_csv(s)) {
+    out.push_back(static_cast<uint32_t>(std::strtoul(tok.c_str(), nullptr, 10)));
+  }
+  return out;
+}
+
+// Deterministic per-cell seed from the axis values alone, so re-runs (and
+// runs of the same cell from different suite compositions) agree.
+uint64_t cell_seed(uint32_t bits, uint32_t threads, size_t mix_idx,
+                   size_t dist_idx, size_t structure_idx, uint32_t repeat) {
+  return mix64(bits * 1000003ull + threads * 10007ull +
+               (mix_idx + 1) * 1009ull + (dist_idx + 1) * 101ull +
+               (structure_idx + 1) * 11ull + repeat + 1);
+}
+
+struct ScalingPoint {
+  std::string structure;
+  uint32_t bits = 0;
+  uint64_t prefill = 0;
+  double pred_steps_per_op = 0.0;
+  uint32_t count = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("--help")) {
+    std::printf(
+        "bench_suite [--quick] [--out FILE] [--git-rev REV]\n"
+        "            [--repeat N]  (universe_scaling cells only; grid cells\n"
+        "                           are single-sample by design)\n"
+        "            [--structures a,b] [--threads 1,2,4,8] [--bits 16,24,32,64]\n"
+        "            [--mixes read_only,...] [--dists uniform,...]\n"
+        "            [--ops TOTAL_PER_CELL] [--prefill N] [--scaling-ops N]\n");
+    return 0;
+  }
+  const bool quick = args.has("--quick");
+  const std::string out_path =
+      args.get("--out", quick ? "BENCH_suite_quick.json" : "BENCH_suite.json");
+  const std::string rev = git_rev(args);
+  const uint32_t repeats =
+      static_cast<uint32_t>(args.get_u64("--repeat", quick ? 1 : 2));
+
+  std::vector<std::string> structures =
+      split_csv(args.get("--structures", "skiptrie,skiplist,locked_map"));
+  std::vector<uint32_t> threads_axis =
+      split_csv_u32(args.get("--threads", quick ? "1,2" : "1,2,4,8"));
+  std::vector<uint32_t> bits_axis =
+      split_csv_u32(args.get("--bits", quick ? "16,32" : "16,24,32,64"));
+  std::vector<std::string> mix_names = split_csv(
+      args.get("--mixes", quick ? "balanced" :
+                                  "read_only,read_heavy,balanced,write_heavy"));
+  std::vector<std::string> dist_names = split_csv(
+      args.get("--dists",
+               quick ? "uniform,zipf" : "uniform,zipf,clustered,sequential"));
+  const uint64_t grid_ops = args.get_u64("--ops", quick ? 2000 : 24000);
+  const uint64_t grid_prefill = args.get_u64("--prefill", quick ? 256 : 8192);
+  const uint64_t scaling_ops = args.get_u64("--scaling-ops", quick ? 2000 : 30000);
+  const uint32_t latency_every =
+      static_cast<uint32_t>(args.get_u64("--latency-every", quick ? 16 : 64));
+
+  // Resolve named axes against the registries in bench_util.h; a token that
+  // matches nothing is an error, not a silently shrunken sweep.
+  std::vector<NamedMix> mixes;
+  for (const std::string& name : mix_names) {
+    bool found = false;
+    for (const NamedMix& m : all_mixes()) {
+      if (name == m.name) {
+        mixes.push_back(m);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "bench_suite: unknown mix '%s' (read_only, read_heavy, "
+                   "balanced, write_heavy)\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+  std::vector<KeyDist> dists;
+  for (const std::string& name : dist_names) {
+    bool found = false;
+    for (const KeyDist d : all_dists()) {
+      if (name == key_dist_name(d)) {
+        dists.push_back(d);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "bench_suite: unknown dist '%s' (uniform, zipf, "
+                   "clustered, sequential)\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+  for (const std::string& s : structures) {
+    if (s != "skiptrie" && s != "skiplist" && s != "locked_map") {
+      std::fprintf(stderr,
+                   "bench_suite: unknown structure '%s' (skiptrie, skiplist, "
+                   "locked_map)\n",
+                   s.c_str());
+      return 1;
+    }
+  }
+  for (const uint32_t t : threads_axis) {
+    if (t == 0 || t > 256) {
+      std::fprintf(stderr, "bench_suite: bad thread count %u\n", t);
+      return 1;
+    }
+  }
+  for (const uint32_t b : bits_axis) {
+    if (b < 4 || b > 64) {
+      std::fprintf(stderr, "bench_suite: universe bits must be 4..64\n");
+      return 1;
+    }
+  }
+  if (mixes.empty() || dists.empty() || structures.empty() ||
+      threads_axis.empty() || bits_axis.empty()) {
+    std::fprintf(stderr, "bench_suite: empty axis\n");
+    return 1;
+  }
+
+  JsonWriter j;
+  j.begin_object();
+  write_suite_header(j, "bench_suite", rev, quick);
+  j.key("config").begin_object();
+  j.kv("grid_ops_per_cell", grid_ops);
+  j.kv("grid_prefill", grid_prefill);
+  j.kv("scaling_ops", scaling_ops);
+  // --repeat applies to the universe_scaling section (the headline numbers,
+  // where run-to-run variance matters); grid cells are single-sample.
+  j.kv("scaling_repeats", static_cast<uint64_t>(repeats));
+  j.kv("latency_sample_every", static_cast<uint64_t>(latency_every));
+  j.end_object();
+  j.key("cells").begin_array();
+  j.newline();
+
+  size_t cells_run = 0;
+  const auto progress = [&cells_run](const char* section) {
+    if (++cells_run % 32 == 0) {
+      std::fprintf(stderr, "  ... %zu cells (%s)\n", cells_run, section);
+    }
+  };
+
+  // --- Section 1: universe scaling -----------------------------------------
+  // n grows with u (n ~ u^(1/2), capped at 2^17) so the skiplist baseline's
+  // log n depth grows alongside the SkipTrie's log log u.
+  std::vector<ScalingPoint> scaling;
+  for (size_t si = 0; si < structures.size(); ++si) {
+    const std::string& structure = structures[si];
+    if (structure == "locked_map") continue;  // no step counters to compare
+    for (const uint32_t bits : bits_axis) {
+      const uint32_t prefill_pow =
+          quick ? 8 : std::min(bits / 2 + 2, 17u);
+      ScalingPoint pt;
+      pt.structure = structure;
+      pt.bits = bits;
+      pt.prefill = 1ull << prefill_pow;
+      for (uint32_t rep = 0; rep < repeats; ++rep) {
+        CellSpec spec;
+        spec.section = "universe_scaling";
+        spec.structure = structure;
+        spec.mix_name = "read_only";
+        spec.universe_bits = bits;
+        spec.repeat = rep;
+        spec.wc.threads = 1;
+        spec.wc.ops_per_thread = scaling_ops;
+        spec.wc.mix = OpMix::read_only();
+        spec.wc.dist = KeyDist::kUniform;
+        spec.wc.key_space = bench_key_space(bits);
+        spec.wc.prefill = pt.prefill;
+        spec.wc.seed = cell_seed(bits, 1, 0, 0, si, rep);
+        spec.wc.latency_sample_every = latency_every;
+        const CellResult res = run_cell(spec);
+        write_cell(j, spec, res);
+        pt.pred_steps_per_op +=
+            res.r.of(OpType::kPredecessor).search_steps_per_op();
+        pt.count++;
+        progress("universe_scaling");
+      }
+      pt.pred_steps_per_op /= pt.count > 0 ? pt.count : 1;
+      scaling.push_back(pt);
+    }
+  }
+
+  // --- Section 2: the full grid --------------------------------------------
+  for (const uint32_t bits : bits_axis) {
+    const uint64_t space = bench_key_space(bits);
+    const uint64_t prefill = std::min<uint64_t>(grid_prefill, space / 2);
+    for (size_t si = 0; si < structures.size(); ++si) {
+      for (const uint32_t threads : threads_axis) {
+        for (size_t mi = 0; mi < mixes.size(); ++mi) {
+          for (size_t di = 0; di < dists.size(); ++di) {
+            CellSpec spec;
+            spec.section = "grid";
+            spec.structure = structures[si];
+            spec.mix_name = mixes[mi].name;
+            spec.universe_bits = bits;
+            spec.wc.threads = threads;
+            spec.wc.ops_per_thread = std::max<uint64_t>(grid_ops / threads, 1);
+            spec.wc.mix = mixes[mi].mix;
+            spec.wc.dist = dists[di];
+            spec.wc.key_space = space;
+            spec.wc.prefill = prefill;
+            spec.wc.seed = cell_seed(bits, threads, mi, di, si, 0);
+            spec.wc.latency_sample_every = latency_every;
+            const CellResult res = run_cell(spec);
+            write_cell(j, spec, res);
+            progress("grid");
+          }
+        }
+      }
+    }
+  }
+
+  j.end_array();
+
+  // Scaling digest: the acceptance-criterion numbers, directly readable.
+  j.key("scaling_summary").begin_array();
+  for (const ScalingPoint& pt : scaling) {
+    j.begin_object();
+    j.kv("structure", pt.structure);
+    j.kv("universe_bits", pt.bits);
+    j.kv("prefill", pt.prefill);
+    j.kv("pred_search_steps_per_op", pt.pred_steps_per_op);
+    j.end_object();
+  }
+  j.end_array();
+  j.kv("cells_total", static_cast<uint64_t>(cells_run));
+  j.end_object();
+  j.newline();
+
+  if (!write_file(out_path, j.str())) return 1;
+
+  header("bench_suite: universe scaling (predecessor search steps/op)");
+  std::printf("%-10s %-8s %-10s %-14s\n", "structure", "bits", "prefill",
+              "steps/op");
+  row_sep(48);
+  for (const ScalingPoint& pt : scaling) {
+    std::printf("%-10s %-8u %-10llu %-14.1f\n", pt.structure.c_str(), pt.bits,
+                static_cast<unsigned long long>(pt.prefill),
+                pt.pred_steps_per_op);
+  }
+  std::printf("\n%zu cells -> %s\n", cells_run, out_path.c_str());
+  std::printf(
+      "Paper shape: SkipTrie steps track log log u across universe bits;\n"
+      "the skiplist baseline tracks log n of its contents.\n");
+  return 0;
+}

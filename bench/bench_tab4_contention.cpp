@@ -1,39 +1,28 @@
 // T4 — the "+ c" term: throughput and steps/op as thread count and write
 // share grow.  The paper charges extra steps to overlapping operations
 // (overlapping-interval contention); empirically, steps/op should rise
-// gently with contention while throughput scales with threads.
+// gently with contention while throughput scales with threads.  Runs on the
+// shared cell runner; `--out FILE` additionally emits the cells as JSON.
 #include <cstdio>
+#include <string>
 #include <thread>
 
-#include "baseline/lockfree_skiplist.h"
-#include "baseline/locked_map.h"
 #include "bench_util.h"
-#include "core/skiptrie.h"
-#include "workload/driver.h"
 
 using namespace skiptrie;
 using namespace skiptrie::bench;
 
-namespace {
-
-template <typename Set>
-void run_rows(const char* name, Set& make_set_tag, uint32_t max_threads);
-
-struct MixRow {
-  const char* name;
-  OpMix mix;
-};
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const std::string out_path = args.get("--out");
   const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
-  const MixRow mixes[] = {
-      {"read-only ", OpMix::read_only()},
-      {"read-heavy", OpMix::read_heavy()},
-      {"balanced  ", OpMix::balanced()},
-      {"write-heavy", OpMix::write_heavy()},
-  };
+
+  JsonWriter j;
+  j.begin_object();
+  write_suite_header(j, "bench_tab4_contention", git_rev(args), quick);
+  j.key("cells").begin_array();
+  j.newline();
 
   header("T4: contention scaling (threads x mix), B=32, prefill 2^15");
   std::printf("%-12s %-12s %-8s %-10s %-12s %-12s %-10s\n", "structure",
@@ -41,42 +30,44 @@ int main() {
               "restarts/op");
   row_sep(90);
 
-  for (unsigned threads = 1; threads <= hw * 2; threads *= 2) {
-    for (const auto& mr : mixes) {
-      {
-        Config cfg;
-        cfg.universe_bits = 32;
-        SkipTrie t(cfg);
-        WorkloadConfig wc;
-        wc.threads = threads;
-        wc.ops_per_thread = 60000 / threads + 1;
-        wc.mix = mr.mix;
-        wc.key_space = 1u << 22;
-        wc.prefill = 1u << 15;
-        wc.seed = threads * 17 + 1;
-        const auto r = run_workload(t, wc);
-        std::printf("%-12s %-12s %-8u %-10.3f %-12.1f %-12.3f %-10.4f\n",
-                    "skiptrie", mr.name, threads, r.mops(),
-                    r.search_steps_per_op(),
-                    static_cast<double>(r.steps.cas_failures) / r.total_ops,
-                    static_cast<double>(r.steps.restarts) / r.total_ops);
-      }
-      {
-        LockedMap m;
-        WorkloadConfig wc;
-        wc.threads = threads;
-        wc.ops_per_thread = 60000 / threads + 1;
-        wc.mix = mr.mix;
-        wc.key_space = 1u << 22;
-        wc.prefill = 1u << 15;
-        wc.seed = threads * 17 + 1;
-        const auto r = run_workload(m, wc);
-        std::printf("%-12s %-12s %-8u %-10.3f %-12s %-12s %-10s\n",
-                    "locked-map", mr.name, threads, r.mops(), "-", "-", "-");
+  const uint32_t max_threads = quick ? 2u : hw * 2;
+  for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
+    for (const NamedMix& mr : all_mixes()) {
+      for (const char* structure : {"skiptrie", "locked_map"}) {
+        CellSpec spec;
+        spec.section = "tab4_contention";
+        spec.structure = structure;
+        spec.mix_name = mr.name;
+        spec.universe_bits = 32;
+        spec.wc.threads = threads;
+        spec.wc.ops_per_thread = (quick ? 8000u : 60000u) / threads + 1;
+        spec.wc.mix = mr.mix;
+        spec.wc.key_space = 1u << 22;
+        spec.wc.prefill = 1u << 15;
+        spec.wc.seed = threads * 17 + 1;
+        const CellResult res = run_cell(spec);
+        const WorkloadResult& r = res.r;
+        if (std::string(structure) == "skiptrie") {
+          std::printf("%-12s %-12s %-8u %-10.3f %-12.1f %-12.3f %-10.4f\n",
+                      structure, mr.name, threads, r.mops(),
+                      r.search_steps_per_op(),
+                      static_cast<double>(r.steps.cas_failures) / r.total_ops,
+                      static_cast<double>(r.steps.restarts) / r.total_ops);
+        } else {
+          std::printf("%-12s %-12s %-8u %-10.3f %-12s %-12s %-10s\n",
+                      structure, mr.name, threads, r.mops(), "-", "-", "-");
+        }
+        write_cell(j, spec, res);
       }
     }
     row_sep(90);
   }
+
+  j.end_array();
+  j.end_object();
+  j.newline();
+  if (!out_path.empty() && !write_file(out_path, j.str())) return 1;
+
   std::printf(
       "\nPaper shape: lock-free SkipTrie throughput scales with threads and\n"
       "degrades gracefully as the write share rises; steps/op grows only\n"

@@ -1,61 +1,65 @@
 // T5 — mixed-workload throughput across key distributions: the SkipTrie's
 // probabilistic balancing needs no rebalancing, so skewed or clustered key
 // patterns must not degrade it (the y-fast trie's bucket splits/merges are
-// exactly what the paper eliminates).
+// exactly what the paper eliminates).  Runs on the shared cell runner (so
+// prefill now follows the configured distribution and hit rates are
+// meaningful); `--out FILE` additionally emits the cells as JSON.
 #include <cstdio>
+#include <string>
 #include <thread>
 
-#include "baseline/lockfree_skiplist.h"
 #include "bench_util.h"
-#include "core/skiptrie.h"
-#include "workload/driver.h"
 
 using namespace skiptrie;
 using namespace skiptrie::bench;
 
-int main() {
-  const unsigned threads = std::max(2u, std::thread::hardware_concurrency());
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const std::string out_path = args.get("--out");
+  const uint32_t threads =
+      quick ? 2u : std::max(2u, std::thread::hardware_concurrency());
+
+  JsonWriter j;
+  j.begin_object();
+  write_suite_header(j, "bench_tab5_mixed", git_rev(args), quick);
+  j.key("cells").begin_array();
+  j.newline();
+
   header("T5: throughput by key distribution (balanced mix)");
   std::printf("%-12s %-12s %-10s %-12s %-12s %-12s\n", "structure", "dist",
               "Mops/s", "steps/op", "hit-rate", "backsteps/op");
   row_sep(80);
-  for (const KeyDist d : {KeyDist::kUniform, KeyDist::kZipf,
-                          KeyDist::kClustered, KeyDist::kSequential}) {
-    {
-      Config cfg;
-      cfg.universe_bits = 32;
-      SkipTrie t(cfg);
-      WorkloadConfig wc;
-      wc.threads = threads;
-      wc.ops_per_thread = 40000;
-      wc.mix = OpMix::balanced();
-      wc.dist = d;
-      wc.key_space = 1u << 20;
-      wc.prefill = 1u << 14;
-      const auto r = run_workload(t, wc);
+  for (const KeyDist d : all_dists()) {
+    for (const char* structure : {"skiptrie", "skiplist"}) {
+      CellSpec spec;
+      spec.section = "tab5_mixed";
+      spec.structure = structure;
+      spec.mix_name = "balanced";
+      spec.universe_bits = 32;
+      spec.wc.threads = threads;
+      spec.wc.ops_per_thread = quick ? 8000 : 40000;
+      spec.wc.mix = OpMix::balanced();
+      spec.wc.dist = d;
+      spec.wc.key_space = 1u << 20;
+      spec.wc.prefill = 1u << 14;
+      const CellResult res = run_cell(spec);
+      const WorkloadResult& r = res.r;
       const double hits = static_cast<double>(r.insert_hits + r.erase_hits +
                                               r.pred_hits + r.lookup_hits) /
                           r.total_ops;
-      std::printf("%-12s %-12s %-10.3f %-12.1f %-12.3f %-12.4f\n", "skiptrie",
+      std::printf("%-12s %-12s %-10.3f %-12.1f %-12.3f %-12.4f\n", structure,
                   key_dist_name(d), r.mops(), r.search_steps_per_op(), hits,
                   static_cast<double>(r.steps.back_steps) / r.total_ops);
-    }
-    {
-      LockFreeSkipList s(21);
-      WorkloadConfig wc;
-      wc.threads = threads;
-      wc.ops_per_thread = 40000;
-      wc.mix = OpMix::balanced();
-      wc.dist = d;
-      wc.key_space = 1u << 20;
-      wc.prefill = 1u << 14;
-      const auto r = run_workload(s, wc);
-      std::printf("%-12s %-12s %-10.3f %-12.1f %-12s %-12.4f\n",
-                  "skiplist-20", key_dist_name(d), r.mops(),
-                  r.search_steps_per_op(), "-",
-                  static_cast<double>(r.steps.back_steps) / r.total_ops);
+      write_cell(j, spec, res);
     }
   }
+
+  j.end_array();
+  j.end_object();
+  j.newline();
+  if (!out_path.empty() && !write_file(out_path, j.str())) return 1;
+
   std::printf(
       "\nPaper shape: SkipTrie does fewer search steps/op than the log-m\n"
       "skiplist across ALL distributions, with no rebalancing pathology on\n"

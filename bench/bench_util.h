@@ -1,17 +1,41 @@
-// Shared helpers for the benchmark binaries: table printing, deterministic
-// fills, and step-counter measurement around operation batches.
+// Shared infrastructure for the benchmark binaries.
+//
+// Three layers:
+//   1. Table helpers + single-threaded measurement (header/row_sep,
+//      fill_distinct, measure_ops) used by the paper-table benches.
+//   2. A shared cell runner: CellSpec names {structure, universe bits,
+//      WorkloadConfig}; run_cell() constructs the structure, drives
+//      run_workload, and collects quiescent structure stats.
+//   3. A shared JSON emitter producing the BENCH_*.json schema documented in
+//      README "Benchmarks": suite header (schema version, git rev, host),
+//      then one record per measured cell.
+// Every bench binary that records data routes through 2+3 so all emitted
+// files share one schema and one set of workload semantics.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+#include "baseline/lockfree_skiplist.h"
+#include "baseline/locked_map.h"
 #include "common/bitops.h"
+#include "common/json.h"
 #include "common/random.h"
 #include "common/stats.h"
+#include "core/skiptrie.h"
+#include "workload/driver.h"
 
 namespace skiptrie::bench {
 
@@ -28,6 +52,11 @@ inline void row_sep(int width = 100) {
 inline uint64_t bench_max_key(uint32_t bits) {
   const uint64_t mask = universe_mask(bits);
   return bits >= 64 ? mask - 2 : mask;
+}
+
+// Key-generator space covering the whole B-bit universe.
+inline uint64_t bench_key_space(uint32_t bits) {
+  return bench_max_key(bits) + 1;
 }
 
 // Insert `m` distinct uniform keys drawn from a B-bit universe; returns
@@ -84,6 +113,286 @@ inline std::vector<uint64_t> random_queries(size_t n, uint32_t bits,
     } while (v > maxk);
   }
   return q;
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing (tiny: --flag or --flag=value / --flag value).
+
+class Args {
+ public:
+  Args(int argc, char** argv) : argv_(argv, argv + argc) {}
+
+  bool has(const char* flag) const {
+    for (const std::string& a : argv_) {
+      if (a == flag || a.rfind(std::string(flag) + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  std::string get(const char* flag, const std::string& def = "") const {
+    const std::string prefix = std::string(flag) + "=";
+    for (size_t i = 1; i < argv_.size(); ++i) {
+      if (argv_[i].rfind(prefix, 0) == 0) return argv_[i].substr(prefix.size());
+      // Space-separated form; a following "--..." is the next flag, not a
+      // value ("--out --quick" must not create a file named --quick).
+      if (argv_[i] == flag && i + 1 < argv_.size() &&
+          argv_[i + 1].rfind("--", 0) != 0) {
+        return argv_[i + 1];
+      }
+    }
+    return def;
+  }
+
+  uint64_t get_u64(const char* flag, uint64_t def) const {
+    const std::string v = get(flag);
+    return v.empty() ? def : std::strtoull(v.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::vector<std::string> argv_;
+};
+
+// ---------------------------------------------------------------------------
+// Named axes.
+
+struct NamedMix {
+  const char* name;
+  OpMix mix;
+};
+
+inline const std::vector<NamedMix>& all_mixes() {
+  static const std::vector<NamedMix> mixes = {
+      {"read_only", OpMix::read_only()},
+      {"read_heavy", OpMix::read_heavy()},
+      {"balanced", OpMix::balanced()},
+      {"write_heavy", OpMix::write_heavy()},
+  };
+  return mixes;
+}
+
+inline const std::vector<KeyDist>& all_dists() {
+  static const std::vector<KeyDist> dists = {
+      KeyDist::kUniform, KeyDist::kZipf, KeyDist::kClustered,
+      KeyDist::kSequential};
+  return dists;
+}
+
+// ---------------------------------------------------------------------------
+// Shared cell runner.
+
+struct CellSpec {
+  std::string section;            // e.g. "grid", "universe_scaling"
+  std::string structure;          // "skiptrie" | "skiplist" | "locked_map"
+  std::string mix_name = "balanced";
+  uint32_t universe_bits = 32;
+  uint32_t repeat = 0;            // repeat index within identical specs
+  WorkloadConfig wc;
+};
+
+struct CellResult {
+  WorkloadResult r;
+  bool has_structure_stats = false;
+  SkipTrie::StructureStats stats;   // skiptrie only, quiescent post-run walk
+  uint32_t skiplist_levels = 0;     // skiplist only
+};
+
+// Skiplist baseline sized for its contents: ~log2(n) index levels.
+inline uint32_t skiplist_levels_for(uint64_t n) {
+  return ceil_log2(n < 2 ? 2 : n) + 2;
+}
+
+inline CellResult run_cell(const CellSpec& spec) {
+  CellResult res;
+  if (spec.structure == "skiptrie") {
+    Config cfg;
+    cfg.universe_bits = spec.universe_bits;
+    SkipTrie t(cfg);
+    res.r = run_workload(t, spec.wc);
+    res.stats = t.structure_stats();  // quiescent: workers joined
+    res.has_structure_stats = true;
+  } else if (spec.structure == "skiplist") {
+    res.skiplist_levels = skiplist_levels_for(spec.wc.prefill);
+    LockFreeSkipList s(res.skiplist_levels);
+    res.r = run_workload(s, spec.wc);
+  } else if (spec.structure == "locked_map") {
+    LockedMap m;
+    res.r = run_workload(m, spec.wc);
+  } else {
+    std::fprintf(stderr, "unknown structure '%s'\n", spec.structure.c_str());
+    std::abort();
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Shared JSON emitter (schema documented in README "Benchmarks").
+
+inline std::string iso8601_utc_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+// Git revision for provenance: flag wins, then $SKIPTRIE_GIT_REV (set by
+// tools/run_bench.sh), then "unknown".
+inline std::string git_rev(const Args& args) {
+  std::string rev = args.get("--git-rev");
+  if (rev.empty()) {
+    const char* env = std::getenv("SKIPTRIE_GIT_REV");
+    rev = env != nullptr ? env : "unknown";
+  }
+  return rev;
+}
+
+// Opens nothing; writes the suite-level provenance keys into the (already
+// open) top-level object.
+inline void write_suite_header(JsonWriter& j, const char* suite,
+                               const std::string& rev, bool quick) {
+  j.kv("schema_version", 1);
+  j.kv("suite", suite);
+  j.kv("git_rev", rev);
+  j.kv("timestamp_utc", iso8601_utc_now());
+  j.kv("quick", quick);
+  j.key("host").begin_object();
+  j.kv("hardware_threads",
+       static_cast<uint64_t>(std::thread::hardware_concurrency()));
+#if defined(__unix__) || defined(__APPLE__)
+  struct utsname un{};
+  if (uname(&un) == 0) {
+    j.kv("os", un.sysname).kv("release", un.release).kv("machine", un.machine);
+  }
+#endif
+#if defined(__clang__)
+  j.kv("compiler", "clang " __clang_version__);
+#elif defined(__GNUC__)
+  j.kv("compiler", "gcc " __VERSION__);
+#endif
+#if defined(NDEBUG)
+  j.kv("assertions", false);
+#else
+  j.kv("assertions", true);
+#endif
+  j.end_object();
+}
+
+inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
+  j.begin_object();
+  j.kv("node_hops", s.node_hops);
+  j.kv("hash_probes", s.hash_probes);
+  j.kv("hash_updates", s.hash_updates);
+  j.kv("cas_attempts", s.cas_attempts);
+  j.kv("cas_failures", s.cas_failures);
+  j.kv("dcss_attempts", s.dcss_attempts);
+  j.kv("dcss_guard_fails", s.dcss_guard_fails);
+  j.kv("dcss_helps", s.dcss_helps);
+  j.kv("back_steps", s.back_steps);
+  j.kv("prev_steps", s.prev_steps);
+  j.kv("restarts", s.restarts);
+  j.kv("trie_level_ops", s.trie_level_ops);
+  j.kv("retired_nodes", s.retired_nodes);
+  j.end_object();
+}
+
+// One record per measured cell; keys stable across suites so files from two
+// revisions can be joined on (section, structure, universe_bits, threads,
+// mix, dist, repeat).
+inline void write_cell(JsonWriter& j, const CellSpec& spec,
+                       const CellResult& res) {
+  const WorkloadResult& r = res.r;
+  j.begin_object();
+  j.kv("section", spec.section);
+  j.kv("structure", spec.structure);
+  j.kv("universe_bits", spec.universe_bits);
+  j.kv("threads", spec.wc.threads);
+  j.kv("mix", spec.mix_name);
+  j.kv("dist", key_dist_name(spec.wc.dist));
+  j.kv("key_space", spec.wc.key_space);
+  j.kv("prefill", spec.wc.prefill);
+  j.kv("seed", spec.wc.seed);
+  j.kv("repeat", spec.repeat);
+  j.kv("total_ops", r.total_ops);
+  j.kv("seconds", r.seconds);
+  j.kv("mops", r.mops());
+  j.key("latency_ns").begin_object();
+  j.kv("p50", r.latency_percentile_ns(0.50));
+  j.kv("p99", r.latency_percentile_ns(0.99));
+  j.kv("samples", r.latency_samples());
+  j.end_object();
+  j.key("steps_per_op").begin_object();
+  j.kv("search", r.search_steps_per_op());
+  j.kv("total", r.total_steps_per_op());
+  j.end_object();
+  j.key("steps");
+  write_step_counters(j, r.steps);
+  j.key("per_op").begin_object();
+  for (size_t k = 0; k < kOpTypeCount; ++k) {
+    const OpType t = static_cast<OpType>(k);
+    const OpTypeStats& ts = r.of(t);
+    if (ts.ops == 0) continue;
+    j.key(op_type_name(t)).begin_object();
+    j.kv("ops", ts.ops);
+    j.kv("hits", ts.hits);
+    j.kv("search_steps_per_op", ts.search_steps_per_op());
+    j.kv("p50_ns", r.latency_percentile_ns(t, 0.50));
+    j.kv("p99_ns", r.latency_percentile_ns(t, 0.99));
+    j.end_object();
+  }
+  j.end_object();
+  if (res.has_structure_stats) {
+    const SkipTrie::StructureStats& st = res.stats;
+    j.key("structure_stats").begin_object();
+    j.kv("keys", static_cast<uint64_t>(st.keys));
+    j.kv("top_count", static_cast<uint64_t>(st.top_count));
+    j.kv("trie_entries", static_cast<uint64_t>(st.trie_entries));
+    j.kv("avg_top_gap", st.avg_top_gap);
+    j.kv("max_top_gap", static_cast<uint64_t>(st.max_top_gap));
+    j.kv("arena_bytes", static_cast<uint64_t>(st.arena_bytes));
+    j.kv("trie_bytes", static_cast<uint64_t>(st.trie_bytes));
+    j.end_object();
+  }
+  if (spec.structure == "skiplist") {
+    j.kv("skiplist_levels", res.skiplist_levels);
+  }
+  j.end_object();
+  j.newline();
+}
+
+// Single-threaded micro measurement record (measure_ops-based benches).
+inline void write_micro_cell(JsonWriter& j, const char* section,
+                             const char* name, const char* structure,
+                             uint64_t size, uint32_t bits, const Measured& m) {
+  j.begin_object();
+  j.kv("section", section);
+  j.kv("name", name);
+  j.kv("structure", structure);
+  j.kv("universe_bits", bits);
+  j.kv("size", size);
+  j.kv("ops", m.ops);
+  j.kv("ns_per_op", m.ns_per_op);
+  j.kv("search_steps_per_op", m.search_steps_per_op());
+  j.key("steps");
+  write_step_counters(j, m.steps);
+  j.end_object();
+  j.newline();
+}
+
+inline bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return n == content.size();
 }
 
 }  // namespace skiptrie::bench

@@ -1,0 +1,162 @@
+// Minimal streaming JSON writer for the benchmark emitters.
+//
+// The bench subsystem records every measured cell into a machine-readable
+// BENCH_*.json (see README "Benchmarks"); this writer is the single place
+// that knows how to produce valid JSON: string escaping, comma placement,
+// and non-finite-double handling (NaN/inf become null, since JSON has no
+// spelling for them).  Append-only: objects/arrays are opened and closed in
+// stack order, values are written where a value is expected.  No DOM, no
+// allocation beyond the output string.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace skiptrie {
+
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.push_back(Frame::kValue); }
+
+  const std::string& str() const { return out_; }
+
+  JsonWriter& begin_object() {
+    comma();
+    out_ += '{';
+    stack_.push_back(Frame::kObjectFirst);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ += '[';
+    stack_.push_back(Frame::kArrayFirst);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  // Key inside an object; follow with exactly one value/container.
+  JsonWriter& key(const char* k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    stack_.push_back(Frame::kValue);
+    return *this;
+  }
+
+  JsonWriter& value(const char* v) {
+    comma();
+    append_string(v);
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) { return value(v.c_str()); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(uint32_t v) { return value(static_cast<uint64_t>(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  // key+scalar shorthand.
+  template <typename T>
+  JsonWriter& kv(const char* k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  // Raw newline between top-level-ish tokens; purely cosmetic (one cell per
+  // line keeps the emitted file diffable).
+  JsonWriter& newline() {
+    out_ += '\n';
+    return *this;
+  }
+
+ private:
+  enum class Frame : uint8_t { kValue, kObjectFirst, kObjectNext, kArrayFirst, kArrayNext };
+
+  // Emit a separator if the enclosing container already holds a member, and
+  // advance the container's first/next state.
+  void comma() {
+    Frame& f = stack_.back();
+    switch (f) {
+      case Frame::kValue:
+        stack_.pop_back();  // the pending key/value slot is being filled
+        return;
+      case Frame::kObjectFirst:
+        f = Frame::kObjectNext;
+        return;
+      case Frame::kArrayFirst:
+        f = Frame::kArrayNext;
+        return;
+      case Frame::kObjectNext:
+      case Frame::kArrayNext:
+        out_ += ',';
+        return;
+    }
+  }
+
+  void append_string(const char* s) {
+    out_ += '"';
+    for (const char* p = s; *p != '\0'; ++p) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += static_cast<char>(c);
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace skiptrie

@@ -138,7 +138,15 @@ std::optional<uint64_t> SkipTrie::max_key_present() const {
 }
 
 size_t SkipTrie::size() const {
+  // Counter updates are relaxed and happen after the operation linearizes,
+  // so a reader racing an insert/erase pair may observe the decrement before
+  // the increment: transiently negative, but never by more than the number
+  // of threads with an erase in flight.  Saturate those windows to 0; a
+  // deficit beyond the thread bound would be a real accounting bug (a lost
+  // or double update), which the assert surfaces in debug builds instead of
+  // silently clamping away.
   const int64_t s = size_.load(std::memory_order_relaxed);
+  assert(s >= -static_cast<int64_t>(EbrDomain::kMaxThreads));
   return s > 0 ? static_cast<size_t>(s) : 0;
 }
 

@@ -76,9 +76,14 @@ class SkipTrie {
     const SkipListEngine::Bracket b = engine_.descend(xlo, start_for(lo, xlo));
     const uint64_t xhi = ikey_of(hi);
     for (Node* n = b.right; n != nullptr && n->kind() == NodeKind::kInterior &&
-                            n->ikey() <= xhi;
-         n = unpack_ptr<Node>(without_tags(dcss_read(n->next)))) {
-      if (!is_marked(dcss_read(n->next))) f(n->ikey() - 1);
+                            n->ikey() <= xhi;) {
+      // One read of the next word serves both the mark test and the advance:
+      // re-reading would let a concurrent deleter mark the node between the
+      // "unmarked" observation and the hop, reporting a key alongside a
+      // next-pointer observed only after its node's deletion.
+      const uint64_t w = dcss_read(n->next);
+      if (!is_marked(w)) f(n->ikey() - 1);
+      n = unpack_ptr<Node>(without_tags(w));
     }
   }
 

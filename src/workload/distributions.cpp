@@ -17,13 +17,14 @@ const char* key_dist_name(KeyDist d) {
 
 KeyGenerator::KeyGenerator(KeyDist dist, uint64_t space, uint64_t seed,
                            double theta, uint32_t clusters,
-                           uint64_t cluster_span)
+                           uint64_t cluster_span, uint64_t cluster_seed)
     : dist_(dist),
       space_(space),
       rng_(seed),
       theta_(theta),
-      cluster_span_(cluster_span) {
+      cluster_span_(cluster_span < space ? cluster_span : space) {
   assert(space_ > 0);
+  if (cluster_span_ == 0) cluster_span_ = 1;
   if (dist_ == KeyDist::kZipf) {
     // Gray et al. ("Quickly generating billion-record synthetic databases")
     // incremental zipf over a capped rank universe; ranks are then scattered
@@ -39,9 +40,10 @@ KeyGenerator::KeyGenerator(KeyDist dist, uint64_t space, uint64_t seed,
            (1.0 - zeta2 / zetan_);
   }
   if (dist_ == KeyDist::kClustered) {
+    Xoshiro256 center_rng(cluster_seed != 0 ? cluster_seed : seed);
     centers_.reserve(clusters);
     for (uint32_t i = 0; i < clusters; ++i) {
-      centers_.push_back(rng_.next_below(space_));
+      centers_.push_back(center_rng.next_below(space_));
     }
   }
 }
@@ -71,10 +73,12 @@ uint64_t KeyGenerator::next() {
     case KeyDist::kZipf:
       return next_zipf();
     case KeyDist::kClustered: {
+      // c < space_ and off < cluster_span_ <= space_, so the sum wraps at
+      // most once; branch on the wrap instead of computing c + off, which
+      // can overflow uint64 for centers near UINT64_MAX.
       const uint64_t c = centers_[rng_.next_below(centers_.size())];
       const uint64_t off = rng_.next_below(cluster_span_);
-      const uint64_t k = c + off;
-      return k < space_ ? k : k - space_;
+      return off >= space_ - c ? off - (space_ - c) : c + off;
     }
     case KeyDist::kSequential: {
       const uint64_t k = seq_++;

@@ -3,10 +3,12 @@
 // Runs a fixed operation mix from N threads against any set type exposing
 // insert/erase/contains/predecessor(uint64_t), aggregates wall time,
 // per-operation counts and the thread-local StepCounters deltas (the paper's
-// step-complexity currency).  Used by integration tests, stress tests and
-// every benchmark binary.
+// step-complexity currency).  Also samples per-operation latency (for
+// p50/p99 reporting) and attributes search steps to each operation type.
+// Used by integration tests, stress tests and every benchmark binary.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -33,6 +35,11 @@ struct OpMix {
   static OpMix balanced() { return OpMix{0.25, 0.25, 0.25}; }
 };
 
+// The four operation kinds a workload issues, in dispatch order.
+enum class OpType : uint8_t { kInsert = 0, kErase, kPredecessor, kLookup };
+inline constexpr size_t kOpTypeCount = 4;
+const char* op_type_name(OpType t);
+
 struct WorkloadConfig {
   uint32_t threads = 2;
   uint64_t ops_per_thread = 100000;
@@ -41,6 +48,32 @@ struct WorkloadConfig {
   uint64_t key_space = 1ull << 20;
   uint64_t seed = 42;
   uint64_t prefill = 0;  // keys inserted (single-threaded) before timing
+  // Distribution shape: zipf skew and clustered geometry.  Cluster centers
+  // are derived from `seed` alone, so the prefill pass and every worker
+  // thread draw from the same clusters (distinct streams, same hot sets).
+  double zipf_theta = 0.99;
+  uint32_t clusters = 64;
+  uint64_t cluster_span = 1024;
+  // Sample the wall-clock latency of every Nth operation per thread
+  // (steady_clock around the call).  0 disables sampling.
+  uint32_t latency_sample_every = 64;
+};
+
+// Per-operation-type tallies: counts, hits, attributed search steps, and the
+// merged latency samples (nanoseconds, unsorted).
+struct OpTypeStats {
+  uint64_t ops = 0;
+  uint64_t hits = 0;
+  uint64_t search_steps = 0;
+  std::vector<uint64_t> latency_ns;
+
+  double search_steps_per_op() const {
+    return ops ? static_cast<double>(search_steps) / static_cast<double>(ops)
+               : 0.0;
+  }
+  double hit_rate() const {
+    return ops ? static_cast<double>(hits) / static_cast<double>(ops) : 0.0;
+  }
 };
 
 struct WorkloadResult {
@@ -51,8 +84,15 @@ struct WorkloadResult {
   uint64_t preds = 0, pred_hits = 0;
   uint64_t lookups = 0, lookup_hits = 0;
   StepCounters steps;
+  OpTypeStats by_type[kOpTypeCount];
 
-  double mops() const { return total_ops / seconds / 1e6; }
+  const OpTypeStats& of(OpType t) const {
+    return by_type[static_cast<size_t>(t)];
+  }
+
+  double mops() const {
+    return seconds > 0.0 ? total_ops / seconds / 1e6 : 0.0;
+  }
   double search_steps_per_op() const {
     return total_ops ? static_cast<double>(steps.search_steps()) /
                            static_cast<double>(total_ops)
@@ -63,18 +103,39 @@ struct WorkloadResult {
                            static_cast<double>(total_ops)
                      : 0.0;
   }
+
+  // Latency percentile (q in [0,1]) over the merged samples of all op types,
+  // or of one type.  0 when nothing was sampled.
+  double latency_percentile_ns(double q) const;
+  double latency_percentile_ns(OpType t, double q) const;
+  uint64_t latency_samples() const;
+
   std::string summary() const;
 };
+
+namespace detail {
+// Percentile by nearest-rank over an unsorted sample vector (copied; the
+// result object stays const-usable).
+double percentile_ns(std::vector<uint64_t> samples, double q);
+}  // namespace detail
 
 // Runs cfg against `set`.  Set must provide bool insert(uint64_t),
 // bool erase(uint64_t), bool contains(uint64_t) const and
 // std::optional<uint64_t> predecessor(uint64_t) const.
 template <typename Set>
 WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
-  // Prefill from a deterministic uniform stream.
+  // Cluster centers must agree across the prefill stream and every worker
+  // stream, so all generators share cfg.seed as the cluster seed.
+  const uint64_t cluster_seed =
+      cfg.seed != 0 ? cfg.seed : 0x9e3779b97f4a7c15ull;  // 0 = "per-stream"
+
+  // Prefill from the *configured* distribution (a deterministic stream
+  // distinct from every worker's): a zipf or clustered read phase must find
+  // the keys its queries concentrate on, otherwise it measures misses.
   if (cfg.prefill > 0) {
-    KeyGenerator gen(KeyDist::kUniform, cfg.key_space, cfg.seed ^ 0x9e3779b9,
-                     0.99);
+    KeyGenerator gen(cfg.dist, cfg.key_space, cfg.seed ^ 0x9e3779b9,
+                     cfg.zipf_theta, cfg.clusters, cfg.cluster_span,
+                     cluster_seed);
     for (uint64_t i = 0; i < cfg.prefill; ++i) set.insert(gen.next());
   }
 
@@ -84,54 +145,103 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
   std::vector<std::thread> threads;
   threads.reserve(cfg.threads);
 
+  // The measured interval is [first worker's first op, last worker's last
+  // op], taken from per-worker clocks.  The main thread cannot timestamp
+  // the window itself: on an oversubscribed machine the workers can run the
+  // whole op phase between the main thread's release from the start barrier
+  // and its next time-stamping instruction, collapsing the measured window
+  // to ~0.
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point first_start = Clock::time_point::max();
+  Clock::time_point last_end = Clock::time_point::min();
+
   for (uint32_t t = 0; t < cfg.threads; ++t) {
     threads.emplace_back([&, t] {
-      KeyGenerator gen(cfg.dist, cfg.key_space, cfg.seed + 0x1234 * (t + 1));
+      KeyGenerator gen(cfg.dist, cfg.key_space, cfg.seed + 0x1234 * (t + 1),
+                       cfg.zipf_theta, cfg.clusters, cfg.cluster_span,
+                       cluster_seed);
       Xoshiro256 op_rng(cfg.seed ^ (0xabcdull * (t + 1)));
       WorkloadResult local;
+      StepCounters& tls = tls_counters();
+      const uint32_t sample_every = cfg.latency_sample_every;
       barrier.arrive_and_wait();  // start together
-      const StepCounters before = snapshot_counters();
+      const Clock::time_point my_start = Clock::now();
+      const StepCounters before = tls;
       for (uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
         const double r = op_rng.next_double();
         const uint64_t key = gen.next();
+        OpType ot;
         if (r < cfg.mix.insert) {
-          local.inserts++;
-          local.insert_hits += set.insert(key) ? 1 : 0;
+          ot = OpType::kInsert;
         } else if (r < cfg.mix.insert + cfg.mix.erase) {
-          local.erases++;
-          local.erase_hits += set.erase(key) ? 1 : 0;
+          ot = OpType::kErase;
         } else if (r < cfg.mix.insert + cfg.mix.erase + cfg.mix.predecessor) {
-          local.preds++;
-          local.pred_hits += set.predecessor(key).has_value() ? 1 : 0;
+          ot = OpType::kPredecessor;
         } else {
-          local.lookups++;
-          local.lookup_hits += set.contains(key) ? 1 : 0;
+          ot = OpType::kLookup;
         }
+        OpTypeStats& ts = local.by_type[static_cast<size_t>(ot)];
+        const bool sampled = sample_every != 0 && i % sample_every == 0;
+        const uint64_t steps0 = tls.search_steps();
+        std::chrono::steady_clock::time_point op_t0;
+        if (sampled) op_t0 = std::chrono::steady_clock::now();
+        bool hit = false;
+        switch (ot) {
+          case OpType::kInsert: hit = set.insert(key); break;
+          case OpType::kErase: hit = set.erase(key); break;
+          case OpType::kPredecessor:
+            hit = set.predecessor(key).has_value();
+            break;
+          case OpType::kLookup: hit = set.contains(key); break;
+        }
+        if (sampled) {
+          const auto op_t1 = std::chrono::steady_clock::now();
+          ts.latency_ns.push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(op_t1 -
+                                                                   op_t0)
+                  .count()));
+        }
+        ts.ops++;
+        ts.hits += hit ? 1 : 0;
+        ts.search_steps += tls.search_steps() - steps0;
       }
-      local.steps = snapshot_counters() - before;
+      local.steps = tls - before;
+      const Clock::time_point my_end = Clock::now();
       barrier.arrive_and_wait();  // stop together
       std::lock_guard<std::mutex> lk(agg_mu);
-      result.inserts += local.inserts;
-      result.insert_hits += local.insert_hits;
-      result.erases += local.erases;
-      result.erase_hits += local.erase_hits;
-      result.preds += local.preds;
-      result.pred_hits += local.pred_hits;
-      result.lookups += local.lookups;
-      result.lookup_hits += local.lookup_hits;
+      if (my_start < first_start) first_start = my_start;
+      if (my_end > last_end) last_end = my_end;
+      for (size_t k = 0; k < kOpTypeCount; ++k) {
+        OpTypeStats& dst = result.by_type[k];
+        OpTypeStats& src = local.by_type[k];
+        dst.ops += src.ops;
+        dst.hits += src.hits;
+        dst.search_steps += src.search_steps;
+        dst.latency_ns.insert(dst.latency_ns.end(), src.latency_ns.begin(),
+                              src.latency_ns.end());
+      }
       result.steps += local.steps;
     });
   }
 
-  barrier.arrive_and_wait();
-  const auto t0 = std::chrono::steady_clock::now();
-  barrier.arrive_and_wait();
-  const auto t1 = std::chrono::steady_clock::now();
+  barrier.arrive_and_wait();  // release the workers
+  barrier.arrive_and_wait();  // wait for the op phase to finish
   for (auto& th : threads) th.join();
 
-  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.seconds =
+      cfg.threads > 0 && last_end > first_start
+          ? std::chrono::duration<double>(last_end - first_start).count()
+          : 0.0;
   result.total_ops =
       static_cast<uint64_t>(cfg.threads) * cfg.ops_per_thread;
+  result.inserts = result.of(OpType::kInsert).ops;
+  result.insert_hits = result.of(OpType::kInsert).hits;
+  result.erases = result.of(OpType::kErase).ops;
+  result.erase_hits = result.of(OpType::kErase).hits;
+  result.preds = result.of(OpType::kPredecessor).ops;
+  result.pred_hits = result.of(OpType::kPredecessor).hits;
+  result.lookups = result.of(OpType::kLookup).ops;
+  result.lookup_hits = result.of(OpType::kLookup).hits;
   return result;
 }
 

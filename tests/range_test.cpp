@@ -141,6 +141,50 @@ TEST(Range, WeaklyConsistentUnderConcurrentChurn) {
   churn.join();
 }
 
+TEST(Range, ChurnedTraversalStaysSortedAndInRange) {
+  // Hammers for_each_in_range while two writers churn a dense key block.
+  // Regression for the double-read of a node's next word: a hop taken from
+  // a second read (after the node got marked) could pair a reported key
+  // with a traversal step it never validated.  Every report must be
+  // strictly ascending, inside the requested range, and from the churned
+  // universe; stable anchors must always appear.
+  SkipTrie t(cfg16());
+  constexpr uint64_t kLo = 100, kHi = 1100;
+  for (uint64_t a = kLo; a <= kHi; a += 100) t.insert(a);  // anchors
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churn;
+  for (int w = 0; w < 2; ++w) {
+    churn.emplace_back([&t, &stop, w] {
+      Xoshiro256 rng(17 + w);
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t k = kLo + rng.next_below(kHi - kLo + 1);
+        if (k % 100 == 0) continue;  // leave anchors alone
+        if (rng.next() & 1) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 400; ++round) {
+    std::vector<uint64_t> seen;
+    t.for_each_in_range(kLo, kHi, [&](uint64_t k) { seen.push_back(k); });
+    size_t anchors = 0;
+    uint64_t prev = 0;
+    for (size_t i = 0; i < seen.size(); ++i) {
+      ASSERT_GE(seen[i], kLo) << "round " << round;
+      ASSERT_LE(seen[i], kHi) << "round " << round;
+      if (i > 0) ASSERT_GT(seen[i], prev) << "round " << round;
+      prev = seen[i];
+      if (seen[i] % 100 == 0) ++anchors;
+    }
+    ASSERT_EQ(anchors, (kHi - kLo) / 100 + 1) << "round " << round;
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : churn) th.join();
+}
+
 TEST(Range, LargeUniverseRange) {
   Config c;
   c.universe_bits = 64;

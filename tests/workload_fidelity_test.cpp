@@ -1,0 +1,181 @@
+// Workload-fidelity regressions: the key-distribution and driver bugs that
+// would silently skew benchmark numbers (wrong clustered wraparound,
+// prefill ignoring the configured distribution, non-reproducible streams).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/skiptrie.h"
+#include "workload/driver.h"
+
+namespace skiptrie {
+namespace {
+
+// Same seed must reproduce the exact key stream, for every distribution.
+TEST(WorkloadFidelity, GeneratorsDeterministicPerSeed) {
+  for (const KeyDist d : {KeyDist::kUniform, KeyDist::kZipf,
+                          KeyDist::kClustered, KeyDist::kSequential}) {
+    KeyGenerator a(d, 1u << 16, 99);
+    KeyGenerator b(d, 1u << 16, 99);
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_EQ(a.next(), b.next()) << key_dist_name(d) << " draw " << i;
+    }
+  }
+}
+
+// Same seed => identical hit counts across driver runs (threads=1 so the
+// interleaving itself cannot differ), exercising the prefill path too.
+TEST(WorkloadFidelity, DriverDeterministicHitCounts) {
+  for (const KeyDist d : {KeyDist::kZipf, KeyDist::kClustered}) {
+    WorkloadConfig wc;
+    wc.threads = 1;
+    wc.ops_per_thread = 15000;
+    wc.dist = d;
+    wc.key_space = 1u << 14;
+    wc.prefill = 2000;
+    wc.seed = 1234;
+
+    Config c;
+    c.universe_bits = 16;
+    SkipTrie a(c), b(c);
+    const auto ra = run_workload(a, wc);
+    const auto rb = run_workload(b, wc);
+    EXPECT_EQ(ra.insert_hits, rb.insert_hits) << key_dist_name(d);
+    EXPECT_EQ(ra.erase_hits, rb.erase_hits) << key_dist_name(d);
+    EXPECT_EQ(ra.pred_hits, rb.pred_hits) << key_dist_name(d);
+    EXPECT_EQ(ra.lookup_hits, rb.lookup_hits) << key_dist_name(d);
+    EXPECT_EQ(a.size(), b.size()) << key_dist_name(d);
+  }
+}
+
+// Zipf with theta ~1 concentrates mass on a few ranks: the most frequent
+// key must carry a visible share of the stream, far above uniform's 1/n.
+TEST(WorkloadFidelity, ZipfTopRankCarriesMass) {
+  KeyGenerator gen(KeyDist::kZipf, 1u << 16, 7, 0.99);
+  std::map<uint64_t, uint32_t> freq;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) freq[gen.next()]++;
+  std::vector<uint32_t> counts;
+  counts.reserve(freq.size());
+  for (const auto& [k, c] : freq) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  // Theoretical top-rank mass for theta=.99 over 2^16 ranks is ~8%; uniform
+  // would be 0.0015%.  Assert well below theory but far above uniform.
+  EXPECT_GT(counts[0], kDraws * 0.03);
+  uint64_t top16 = 0;
+  for (size_t i = 0; i < 16 && i < counts.size(); ++i) top16 += counts[i];
+  EXPECT_GT(top16, kDraws * 0.15);
+}
+
+// Clustered draws must stay inside [0, space), including when the span
+// exceeds the space (wrap-around used to be able to return keys >= space).
+TEST(WorkloadFidelity, ClusteredKeysStayBelowSpace) {
+  // span > space forces every center to wrap.
+  KeyGenerator tight(KeyDist::kClustered, 1000, 3, 0.99, 8, 4096);
+  for (int i = 0; i < 20000; ++i) ASSERT_LT(tight.next(), 1000u);
+  // Non-power-of-two space near the top of the 64-bit range: the old
+  // `c + off` could overflow uint64 before the wrap test.
+  const uint64_t huge = UINT64_MAX - 5;
+  KeyGenerator top(KeyDist::kClustered, huge, 11, 0.99, 512, 1u << 16);
+  for (int i = 0; i < 50000; ++i) ASSERT_LT(top.next(), huge);
+}
+
+// Sequential generator wraps modulo the space.
+TEST(WorkloadFidelity, SequentialWrapsModuloSpace) {
+  KeyGenerator gen(KeyDist::kSequential, 100, 42);
+  for (uint64_t i = 0; i < 250; ++i) {
+    ASSERT_EQ(gen.next(), i % 100);
+  }
+}
+
+// The prefill regression: a zipf read workload must find the keys its
+// queries concentrate on.  Before the fix, prefill always drew from a
+// uniform stream, so a skewed lookup phase measured almost-only misses.
+TEST(WorkloadFidelity, PrefillFollowsConfiguredDistribution) {
+  WorkloadConfig wc;
+  wc.threads = 1;
+  wc.ops_per_thread = 20000;
+  wc.mix = OpMix{0, 0, 0};  // lookups only
+  wc.dist = KeyDist::kZipf;
+  wc.key_space = 1ull << 20;
+  wc.prefill = 20000;
+  wc.seed = 5;
+
+  Config c;
+  c.universe_bits = 32;
+  SkipTrie t(c);
+  const auto r = run_workload(t, wc);
+  ASSERT_EQ(r.lookups, wc.ops_per_thread);
+  // Zipf rank->key scattering is seed-independent, so a zipf prefill covers
+  // the head of the query distribution; uniform prefill over 2^20 keys
+  // would give a ~2% hit rate here.
+  EXPECT_GT(static_cast<double>(r.lookup_hits) /
+                static_cast<double>(r.lookups),
+            0.30);
+}
+
+// Same property for clustered workloads: prefill and the timed threads must
+// share cluster centers (distinct streams, same hot sets).
+TEST(WorkloadFidelity, ClusteredPrefillSharesCenters) {
+  WorkloadConfig wc;
+  wc.threads = 2;
+  wc.ops_per_thread = 10000;
+  wc.mix = OpMix{0, 0, 0};  // lookups only
+  wc.dist = KeyDist::kClustered;
+  wc.key_space = 1ull << 20;
+  wc.prefill = 30000;
+  wc.seed = 9;
+
+  Config c;
+  c.universe_bits = 32;
+  SkipTrie t(c);
+  const auto r = run_workload(t, wc);
+  // 64 clusters x span 1024 = 65536 cluster slots; 30000 prefill draws
+  // cover a large share of them.  With shared centers the lookup hit rate
+  // is high; with per-stream centers it would be ~3% (65536 / 2^20).
+  EXPECT_GT(static_cast<double>(r.lookup_hits) /
+                static_cast<double>(r.lookups),
+            0.25);
+}
+
+// Zero-duration runs must not emit inf/nan throughput.
+TEST(WorkloadFidelity, ZeroDurationGuard) {
+  WorkloadResult r;
+  r.total_ops = 100;
+  r.seconds = 0.0;
+  EXPECT_EQ(r.mops(), 0.0);
+  EXPECT_EQ(r.search_steps_per_op(), 0.0);
+  EXPECT_EQ(r.latency_percentile_ns(0.99), 0.0);
+}
+
+// Latency sampling populates per-type percentiles and they are ordered.
+TEST(WorkloadFidelity, LatencyPercentilesSampled) {
+  WorkloadConfig wc;
+  wc.threads = 2;
+  wc.ops_per_thread = 8000;
+  wc.key_space = 1u << 12;
+  wc.prefill = 1000;
+  wc.latency_sample_every = 8;
+
+  Config c;
+  c.universe_bits = 16;
+  SkipTrie t(c);
+  const auto r = run_workload(t, wc);
+  EXPECT_GE(r.latency_samples(), 2 * (8000 / 8));
+  const double p50 = r.latency_percentile_ns(0.50);
+  const double p99 = r.latency_percentile_ns(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+  // Per-type attribution covered every op.
+  uint64_t typed_ops = 0;
+  for (size_t k = 0; k < kOpTypeCount; ++k) {
+    typed_ops += r.by_type[k].ops;
+  }
+  EXPECT_EQ(typed_ops, r.total_ops);
+  EXPECT_GT(r.of(OpType::kPredecessor).search_steps_per_op(), 0.0);
+}
+
+}  // namespace
+}  // namespace skiptrie

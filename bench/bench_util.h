@@ -254,9 +254,15 @@ inline std::string git_rev(const Args& args) {
 
 // Opens nothing; writes the suite-level provenance keys into the (already
 // open) top-level object.
+// Schema history:
+//   v1  initial unified schema (PR 2).
+//   v2  probe attribution: steps.{probes_lookup, probes_chain,
+//       probes_binsearch, walk_fallbacks}; structure_stats.{hash_buckets,
+//       hash_dummies, hash_load_factor}.  Purely additive — v1 consumers
+//       keep working on every key they knew about.
 inline void write_suite_header(JsonWriter& j, const char* suite,
                                const std::string& rev, bool quick) {
-  j.kv("schema_version", 1);
+  j.kv("schema_version", 2);
   j.kv("suite", suite);
   j.kv("git_rev", rev);
   j.kv("timestamp_utc", iso8601_utc_now());
@@ -287,6 +293,9 @@ inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
   j.begin_object();
   j.kv("node_hops", s.node_hops);
   j.kv("hash_probes", s.hash_probes);
+  j.kv("probes_lookup", s.probes_lookup);
+  j.kv("probes_chain", s.probes_chain);
+  j.kv("probes_binsearch", s.probes_binsearch);
   j.kv("hash_updates", s.hash_updates);
   j.kv("cas_attempts", s.cas_attempts);
   j.kv("cas_failures", s.cas_failures);
@@ -296,6 +305,7 @@ inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
   j.kv("back_steps", s.back_steps);
   j.kv("prev_steps", s.prev_steps);
   j.kv("restarts", s.restarts);
+  j.kv("walk_fallbacks", s.walk_fallbacks);
   j.kv("trie_level_ops", s.trie_level_ops);
   j.kv("retired_nodes", s.retired_nodes);
   j.end_object();
@@ -356,6 +366,9 @@ inline void write_cell(JsonWriter& j, const CellSpec& spec,
     j.kv("max_top_gap", static_cast<uint64_t>(st.max_top_gap));
     j.kv("arena_bytes", static_cast<uint64_t>(st.arena_bytes));
     j.kv("trie_bytes", static_cast<uint64_t>(st.trie_bytes));
+    j.kv("hash_buckets", static_cast<uint64_t>(st.hash_buckets));
+    j.kv("hash_dummies", static_cast<uint64_t>(st.hash_dummies));
+    j.kv("hash_load_factor", st.hash_load_factor);
     j.end_object();
   }
   if (spec.structure == "skiplist") {

@@ -5,6 +5,9 @@ namespace skiptrie {
 StepCounters& StepCounters::operator+=(const StepCounters& o) {
   node_hops += o.node_hops;
   hash_probes += o.hash_probes;
+  probes_lookup += o.probes_lookup;
+  probes_chain += o.probes_chain;
+  probes_binsearch += o.probes_binsearch;
   hash_updates += o.hash_updates;
   cas_attempts += o.cas_attempts;
   cas_failures += o.cas_failures;
@@ -14,6 +17,7 @@ StepCounters& StepCounters::operator+=(const StepCounters& o) {
   back_steps += o.back_steps;
   prev_steps += o.prev_steps;
   restarts += o.restarts;
+  walk_fallbacks += o.walk_fallbacks;
   trie_level_ops += o.trie_level_ops;
   retired_nodes += o.retired_nodes;
   return *this;
@@ -23,6 +27,9 @@ StepCounters StepCounters::operator-(const StepCounters& o) const {
   StepCounters r = *this;
   r.node_hops -= o.node_hops;
   r.hash_probes -= o.hash_probes;
+  r.probes_lookup -= o.probes_lookup;
+  r.probes_chain -= o.probes_chain;
+  r.probes_binsearch -= o.probes_binsearch;
   r.hash_updates -= o.hash_updates;
   r.cas_attempts -= o.cas_attempts;
   r.cas_failures -= o.cas_failures;
@@ -32,6 +39,7 @@ StepCounters StepCounters::operator-(const StepCounters& o) const {
   r.back_steps -= o.back_steps;
   r.prev_steps -= o.prev_steps;
   r.restarts -= o.restarts;
+  r.walk_fallbacks -= o.walk_fallbacks;
   r.trie_level_ops -= o.trie_level_ops;
   r.retired_nodes -= o.retired_nodes;
   return r;

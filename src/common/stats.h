@@ -15,7 +15,18 @@ namespace skiptrie {
 
 struct StepCounters {
   uint64_t node_hops = 0;        // list-node traversal steps (all levels)
-  uint64_t hash_probes = 0;      // prefix hash-table lookups
+  uint64_t hash_probes = 0;      // hash-chain nodes visited (all find() calls)
+  // Fine-grained attribution of hash_probes (see DESIGN.md §5.1).  These do
+  // NOT enter search_steps()/total_steps() — they attribute work hash_probes
+  // already counts, and adding them again would double count.  Note
+  // probes_lookup counts lookup() calls only, while probes_chain covers
+  // every find() caller (insert/erase paths too), so
+  // probes_lookup + probes_chain == hash_probes only on read-only streams.
+  uint64_t probes_lookup = 0;    // SplitOrderedMap::lookup() calls issued
+  uint64_t probes_chain = 0;     // chain nodes visited beyond the first per
+                                 // find(), any caller (constant-factor slack)
+  uint64_t probes_binsearch = 0; // lookups issued by the x-fast binary
+                                 // search over prefix lengths (~log B ideal)
   uint64_t hash_updates = 0;     // prefix hash-table insert/delete attempts
   uint64_t cas_attempts = 0;     // structural CAS attempts
   uint64_t cas_failures = 0;     // failed structural CAS
@@ -25,6 +36,8 @@ struct StepCounters {
   uint64_t back_steps = 0;       // back-pointer follows (marked-node recovery)
   uint64_t prev_steps = 0;       // prev-pointer follows (top-level walk)
   uint64_t restarts = 0;         // validation-triggered restarts from a head
+  uint64_t walk_fallbacks = 0;   // walk_left gave up (limit/dead-end) and
+                                 // discarded its start hint for the top head
   uint64_t trie_level_ops = 0;   // x-fast-trie per-level update iterations
   uint64_t retired_nodes = 0;    // nodes handed to reclamation
 

@@ -167,6 +167,9 @@ SkipTrie::StructureStats SkipTrie::structure_stats() const {
   s.trie_entries = trie_.entry_count();
   s.arena_bytes = engine_.approx_bytes();
   s.trie_bytes = trie_.approx_bytes();
+  s.hash_buckets = trie_.map().bucket_count();
+  s.hash_dummies = trie_.map().dummy_count();
+  s.hash_load_factor = trie_.map().load_factor();
 
   // Gap statistics: number of level-0 keys strictly between consecutive
   // top-level nodes (the paper's "bucket" size, expected O(log u)).

@@ -110,6 +110,9 @@ class SkipTrie {
     size_t max_top_gap = 0;
     size_t arena_bytes = 0;
     size_t trie_bytes = 0;
+    size_t hash_buckets = 0;      // split-ordered directory size
+    size_t hash_dummies = 0;      // bucket dummy nodes spliced into the list
+    double hash_load_factor = 0;  // trie_entries / hash_buckets (target <= 2)
   };
   // Quiescent-only walk of the structure.
   StructureStats structure_stats() const;

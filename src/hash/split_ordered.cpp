@@ -83,14 +83,14 @@ SplitOrderedMap::BucketSlot* SplitOrderedMap::slot_for(size_t bucket) const {
   return &seg[bucket & (kSegSize - 1)];
 }
 
-SplitOrderedMap::HNode* SplitOrderedMap::bucket_head(size_t bucket) {
+SplitOrderedMap::HNode* SplitOrderedMap::bucket_head(size_t bucket) const {
   BucketSlot* slot = slot_for(bucket);
   HNode* head = slot->load(std::memory_order_acquire);
   if (head != nullptr) return head;
   return initialize_bucket(bucket);
 }
 
-SplitOrderedMap::HNode* SplitOrderedMap::initialize_bucket(size_t bucket) {
+SplitOrderedMap::HNode* SplitOrderedMap::initialize_bucket(size_t bucket) const {
   // Recursively make sure the parent's dummy exists, then splice this
   // bucket's dummy into the list after it.
   HNode* parent_head = bucket_head(parent_bucket(bucket));
@@ -129,6 +129,7 @@ SplitOrderedMap::FindResult SplitOrderedMap::find(HNode* head, uint64_t so_key,
                                                   uint64_t key,
                                                   bool cleanup) const {
   auto& c = tls_counters();
+  bool first_visit = true;
 retry:
   std::atomic<uint64_t>* prev = &head->next;
   uint64_t prev_word = dcss_read(*prev);
@@ -138,6 +139,10 @@ retry:
       return FindResult{prev, nullptr, prev_word};
     }
     c.hash_probes++;
+    // The first node off the bucket head is the ideal single probe; every
+    // further visit is chain slack (load factor, dummies, marked nodes).
+    if (!first_visit) c.probes_chain++;
+    first_visit = false;
     uint64_t next_word = dcss_read(curr->next);
     if (is_marked(next_word)) {
       // curr is logically deleted.
@@ -207,23 +212,16 @@ bool SplitOrderedMap::insert(uint64_t key, uint64_t value,
 
 std::optional<uint64_t> SplitOrderedMap::lookup(uint64_t key) const {
   EbrDomain::Guard g(*ctx_.ebr);
+  tls_counters().probes_lookup++;
   const uint64_t so = regular_so_key(key);
   const size_t bucket =
       hash_of(key) & (buckets_.load(std::memory_order_acquire) - 1);
-  // Read-only: do not initialize buckets; walk from the nearest initialized
-  // ancestor instead.
-  size_t b = bucket;
-  HNode* head = nullptr;
-  for (;;) {
-    BucketSlot* slot = slot_for(b);
-    head = slot->load(std::memory_order_acquire);
-    if (head != nullptr) break;
-    if (b == 0) {
-      head = list_head_;
-      break;
-    }
-    b = parent_bucket(b);
-  }
+  // Initialize the bucket writer-style if needed (Shalev & Shavit's own
+  // lookup does the same).  The previous walk-from-nearest-initialized-
+  // ancestor scheme kept lookups write-free but degraded to scanning every
+  // node between the ancestor's dummy and the target bucket — O(chain of
+  // the whole uninitialized subtree) probes instead of O(1) expected.
+  HNode* head = bucket_head(bucket);
   FindResult fr = find(head, so, key, /*cleanup=*/false);
   if (fr.curr != nullptr && fr.curr->so_key == so && fr.curr->key == key) {
     return fr.curr->value;
@@ -288,12 +286,23 @@ bool SplitOrderedMap::compare_and_delete(uint64_t key,
 }
 
 void SplitOrderedMap::maybe_grow() {
-  const size_t buckets = buckets_.load(std::memory_order_acquire);
-  if (buckets >= max_buckets_) return;
-  if (count_.load(std::memory_order_relaxed) > buckets * kLoadFactor) {
+  // Grow to the smallest power of two satisfying count <= buckets *
+  // kLoadFactor (capped at max_buckets_), not just one doubling: a table
+  // that fell behind a prefill burst (or lost growth CASes to races) must
+  // reach the load-factor target on the next insert, or chains stay long
+  // and every probe pays for it.
+  const size_t count = count_.load(std::memory_order_relaxed);
+  for (;;) {
+    const size_t buckets = buckets_.load(std::memory_order_acquire);
+    if (buckets >= max_buckets_ || count <= buckets * kLoadFactor) return;
+    size_t target = buckets;
+    while (target < max_buckets_ && count > target * kLoadFactor) target *= 2;
     size_t expect = buckets;
-    buckets_.compare_exchange_strong(expect, buckets * 2,
-                                     std::memory_order_acq_rel);
+    if (buckets_.compare_exchange_strong(expect, target,
+                                         std::memory_order_acq_rel)) {
+      return;
+    }
+    // Lost to a concurrent grower; re-check whether its target suffices.
   }
 }
 

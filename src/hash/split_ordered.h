@@ -54,8 +54,15 @@ class SplitOrderedMap {
               std::atomic<uint64_t>* guard = nullptr,
               uint64_t guard_expected = 0, bool* guard_failed = nullptr);
 
-  // Read-only lookup; never writes to shared memory (paper §1, choice (2):
-  // searches do not eagerly help).
+  // Lookup.  The list walk itself is read-only — it skips marked nodes
+  // rather than helping unlink them (paper §1, choice (2): searches do not
+  // eagerly help) — but an uninitialized bucket directory slot IS
+  // initialized writer-style (splice the dummy, publish the slot), exactly
+  // as in Shalev & Shavit's original.  Without that, a lookup landing on an
+  // uninitialized bucket scans every node between the nearest initialized
+  // ancestor's dummy and the target position, inflating the probe count far
+  // past the O(1)-expected chain walk; initialization is a one-time cost
+  // per bucket, amortized O(1).
   std::optional<uint64_t> lookup(uint64_t key) const;
 
   // Remove key unconditionally.  Returns the removed value if any.
@@ -67,6 +74,15 @@ class SplitOrderedMap {
 
   size_t size() const { return count_.load(std::memory_order_relaxed); }
   size_t bucket_count() const { return buckets_.load(std::memory_order_relaxed); }
+  size_t dummy_count() const { return dummies_.load(std::memory_order_relaxed); }
+
+  // Realized load factor: live entries per bucket.  maybe_grow targets
+  // load_factor() <= kLoadFactor; exposed so benches can verify the table
+  // kept up with prefill bursts.
+  double load_factor() const {
+    const size_t b = bucket_count();
+    return b > 0 ? static_cast<double>(size()) / static_cast<double>(b) : 0.0;
+  }
 
   // Bytes consumed by nodes + directory (space accounting for benches).
   size_t approx_bytes() const;
@@ -87,7 +103,16 @@ class SplitOrderedMap {
   static constexpr size_t kSegBits = 10;
   static constexpr size_t kSegSize = 1ull << kSegBits;
   static constexpr size_t kMaxSegments = 1ull << 12;
-  static constexpr size_t kLoadFactor = 2;  // items per bucket before doubling
+
+ public:
+  // Items per bucket before growing.  1 (not the classic 2): the x-fast
+  // binary search pays a chain walk per probe, so chain slack multiplies
+  // ~log B times per predecessor query; trading directory memory (8 bytes
+  // per slot + one 32-byte dummy per initialized bucket) for half the
+  // expected chain length is the right side of the bargain here.
+  static constexpr size_t kLoadFactor = 1;
+
+ private:
 
   using BucketSlot = std::atomic<HNode*>;
 
@@ -105,9 +130,11 @@ class SplitOrderedMap {
     return a_so < b_so || (a_so == b_so && a_key < b_key);
   }
 
+  // const: callable from lookup() — bucket initialization mutates only the
+  // directory and splices a dummy, never a caller-visible entry.
   BucketSlot* slot_for(size_t bucket) const;
-  HNode* bucket_head(size_t bucket);          // initializes lazily
-  HNode* initialize_bucket(size_t bucket);
+  HNode* bucket_head(size_t bucket) const;    // initializes lazily
+  HNode* initialize_bucket(size_t bucket) const;
   static size_t parent_bucket(size_t bucket);
 
   // Harris-style search in the list starting at `head` for (so_key,key);
@@ -121,7 +148,7 @@ class SplitOrderedMap {
   const size_t max_buckets_;
   std::atomic<size_t> buckets_{2};
   std::atomic<size_t> count_{0};
-  std::atomic<size_t> dummies_{0};
+  mutable std::atomic<size_t> dummies_{0};  // lookup() may initialize buckets
   mutable std::atomic<BucketSlot*> segments_[kMaxSegments];
   HNode* list_head_;  // dummy of bucket 0, so_key 0
 };

@@ -210,13 +210,21 @@ Node* SkipListEngine::walk_left(uint64_t x, Node* from) {
   Node* curr = from;
   for (uint32_t steps = 0;; ++steps) {
     if (curr == nullptr || steps > kWalkLimit) {
+      // Guide chain dead-ended (null back/prev) or exceeded the walk bound:
+      // the trie's start hint is discarded and the caller restarts from the
+      // top-level head.  That restart costs a full head-to-x top-level scan,
+      // so it gets its own counter (walk_fallbacks) on top of the generic
+      // restart tally — a high rate here means pred_start hints are bad or
+      // the walk bound is being hit, not that validation is churning.
       c.restarts++;
+      c.walk_fallbacks++;
       return head_[top_];
     }
     const NodeKind k = curr->kind();
     if (k == NodeKind::kHead) return head_[top_];
     if (k == NodeKind::kPoison || k == NodeKind::kTail) {
       c.restarts++;
+      c.walk_fallbacks++;
       return head_[top_];
     }
     if (curr->ikey() < x) return curr;

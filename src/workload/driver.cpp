@@ -62,8 +62,10 @@ std::string WorkloadResult::summary() const {
     os.precision(2);
   }
   os << "; hops " << steps.node_hops << " probes " << steps.hash_probes
+     << " (lookups " << steps.probes_lookup << " chain " << steps.probes_chain
+     << " binsearch " << steps.probes_binsearch << ")"
      << " back " << steps.back_steps << " prev " << steps.prev_steps
-     << " restarts " << steps.restarts;
+     << " restarts " << steps.restarts << " walk_fb " << steps.walk_fallbacks;
   return os.str();
 }
 

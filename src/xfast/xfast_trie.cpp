@@ -13,6 +13,17 @@ namespace {
 inline bool plausible_candidate(uint64_t ik) {
   return ik != 0 && ik != UINT64_MAX;
 }
+
+// Per-thread hint: an EWMA (x4 fixed point) of the prefix lengths where
+// recent lowest_ancestor calls landed.  Ancestor depth concentrates near
+// log2 of the top-level population, so seeding the binary search near the
+// running mean collapses the usual ~log B probes to ~2-4; the average beats
+// the raw last sample because |depth - mean| is stochastically smaller than
+// the distance between two independent draws.  Shared across trie
+// instances by design — a stale hint costs a few extra gallop probes
+// before the search degrades gracefully to plain binary search;
+// correctness never depends on it.
+thread_local uint32_t tl_anc_len_hint4 = 0;
 }  // namespace
 
 XFastTrie::XFastTrie(DcssContext ctx, SkipListEngine& engine, uint32_t bits,
@@ -41,9 +52,20 @@ size_t XFastTrie::approx_bytes() const {
 }
 
 Node* XFastTrie::lowest_ancestor(uint64_t key, uint64_t x) {
-  // Algorithm 3 as a classic binary search on prefix length, see
-  // DESIGN.md §3.5(4).  Tracks the "best" candidate seen — the top-level
-  // node whose key is closest to x (paper lines 10-13).
+  // Algorithm 3 as a binary search on prefix length, see DESIGN.md §3.5(4),
+  // restructured for probe economy:
+  //  - the search is seeded from tl_anc_len_hint4 (running mean landing
+  //    depth), so a stable workload pays ~2-4 probes instead of ~log B;
+  //  - interior hits do NOT read the hit entry's child pointers — only the
+  //    deepest hit is read (both words, batched, once, after the search).
+  //    Sequentially that loses nothing: the lowest ancestor's opposite-
+  //    direction pointer is the tight candidate (predecessor or successor
+  //    of x among top-level keys), and every shallower ancestor's pointers
+  //    are strictly looser.  Concurrently a killed/emptied deepest entry
+  //    can yield no candidate, in which case we fall back to the root's
+  //    pointers (always present) — pred_start is only a hint, walk_left
+  //    and the descent validate everything.
+  auto& c = tls_counters();
   Node* best = nullptr;
   uint64_t best_dist = UINT64_MAX;
   auto consider = [&](uint64_t word) {
@@ -58,29 +80,75 @@ Node* XFastTrie::lowest_ancestor(uint64_t key, uint64_t x) {
     }
   };
 
-  // Root entry (always present): paper line 4, plus the opposite direction
-  // as a fallback so an empty subtree still yields a start hint.
-  const uint64_t b0 = key_bit(key, 0, bits_);
-  consider(dcss_read(root_->ptrs[b0]));
-  consider(dcss_read(root_->ptrs[1 - b0]));
+  TreeNode* deepest = nullptr;  // entry of the longest prefix found so far
+  auto probe = [&](uint32_t len) -> bool {
+    c.probes_binsearch++;
+    const auto found = map_.lookup(encode_prefix(key, len, bits_));
+    if (!found.has_value()) return false;
+    deepest = reinterpret_cast<TreeNode*>(*found);
+    return true;
+  };
 
   uint32_t lo = 0;
   uint32_t hi = bits_ - 1;
+  // Seed: probe at the hinted depth, then gallop away from it with doubling
+  // strides until the answer is bracketed, then binary search the remaining
+  // window.  Ancestor depth concentrates near log2(top-level population),
+  // so the true depth is usually within a couple of levels of the hint:
+  // cost ~2 + 2*log2(|true - hint|) probes instead of ~log2 B.
+  const uint32_t hint = (tl_anc_len_hint4 + 2) / 4;
+  const uint32_t seed = hint < 1 ? 1 : (hint > hi ? hi : hint);
+  if (probe(seed)) {
+    lo = seed;
+    uint32_t step = 1;
+    while (lo < hi) {  // gallop up: lo is a hit, find the first miss above
+      const uint32_t next = hi - lo > step ? lo + step : hi;
+      if (probe(next)) {
+        lo = next;
+        step *= 2;
+      } else {
+        hi = next - 1;
+        break;
+      }
+    }
+  } else {
+    hi = seed - 1;
+    uint32_t step = 1;
+    while (hi > lo) {  // gallop down: hi+1 is a miss, find a hit below
+      const uint32_t next = hi - lo >= step ? hi - (step - 1) : lo;
+      if (next == lo) break;  // lo (the root at 0) needs no probe
+      if (probe(next)) {
+        lo = next;
+        break;
+      }
+      hi = next - 1;
+      step *= 2;
+    }
+  }
   while (lo < hi) {
     const uint32_t mid = (lo + hi + 1) / 2;
-    const auto found = map_.lookup(encode_prefix(key, mid, bits_));
-    if (found.has_value()) {
-      auto* tn = reinterpret_cast<TreeNode*>(*found);
-      // Consider BOTH subtree extremes.  At the lowest ancestor the
-      // query-direction subtree is empty by definition (otherwise a longer
-      // prefix would exist), so the tight candidate — the predecessor or
-      // successor of x among top-level keys — is the opposite pointer.
-      consider(dcss_read(tn->ptrs[0]));
-      consider(dcss_read(tn->ptrs[1]));
+    if (probe(mid)) {
       lo = mid;
     } else {
       hi = mid - 1;
     }
+  }
+  tl_anc_len_hint4 = (tl_anc_len_hint4 * 3) / 4 + lo;  // EWMA, alpha = 1/4
+
+  // Read the deepest hit's two child words (the only consider reads on the
+  // common path).  `deepest` corresponds to length lo: hits happen at
+  // strictly increasing lengths, so the last one recorded is the final lo.
+  if (deepest != nullptr) {
+    consider(dcss_read(deepest->ptrs[0]));
+    consider(dcss_read(deepest->ptrs[1]));
+  }
+  if (best == nullptr) {
+    // No usable candidate below the root (empty trie, or the deepest entry
+    // died under us): fall back to the root entry, paper line 4, querying
+    // the key-direction subtree first and the opposite as a last resort.
+    const uint64_t b0 = key_bit(key, 0, bits_);
+    consider(dcss_read(root_->ptrs[b0]));
+    consider(dcss_read(root_->ptrs[1 - b0]));
   }
   return best;
 }

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common/random.h"
+#include "common/stats.h"
 #include "skiplist/engine.h"
 
 namespace skiptrie {
@@ -163,6 +164,57 @@ TEST_F(GuideHardening, DescendFromWrongLevelNodeStillCorrect) {
   const auto b = eng_.descend(77, low);
   EXPECT_EQ(b.left->ikey(), 76u);
   EXPECT_EQ(b.right->ikey(), 78u);
+}
+
+TEST_F(GuideHardening, WalkLeftFallbackIsAttributedDistinctly) {
+  // A dead-ended guide walk (poisoned start) must count walk_fallbacks, not
+  // just a generic restart: discarding the trie hint costs a full top-level
+  // rescan and ROADMAP tracks it separately.
+  EbrDomain::Guard g(ebr_);
+  ASSERT_TRUE(eng_.insert(100, eng_.head(3), 3).inserted);
+  Node* poisoned = eng_.make_node(999, 2, 2, nullptr, nullptr);
+  poisoned->poison();
+  tls_counters() = StepCounters{};
+  Node* res = eng_.walk_left(50, poisoned);
+  EXPECT_EQ(res, eng_.head(3));
+  EXPECT_EQ(tls_counters().walk_fallbacks, 1u);
+  EXPECT_EQ(tls_counters().restarts, 1u);
+  arena_.recycle(poisoned);
+
+  // A healthy walk from a usable node attributes no fallback.
+  Node* top = eng_.first_at(3);
+  ASSERT_NE(top, nullptr);
+  tls_counters() = StepCounters{};
+  EXPECT_EQ(eng_.walk_left(200, top), top);
+  EXPECT_EQ(tls_counters().walk_fallbacks, 0u);
+  tls_counters() = StepCounters{};
+}
+
+TEST_F(GuideHardening, WalkLeftLimitFromAdversarialStaleHint) {
+  // Regression for the silent kWalkLimit restart: an adversarially bad
+  // (stale) start hint — a top-level node more than kWalkLimit prev-hops to
+  // the right of the search bound — must give up, fall back to the head,
+  // and say so in walk_fallbacks instead of hiding the cost in restarts.
+  EbrDomain::Guard g(ebr_);
+  constexpr uint64_t kNodes = 4200;  // > kWalkLimit (4096)
+  Node* stale_hint = nullptr;
+  for (uint64_t k = 1; k <= kNodes; ++k) {
+    const auto r = eng_.insert(k * 2, stale_hint == nullptr
+                                          ? eng_.head(3)
+                                          : stale_hint,
+                               3);
+    ASSERT_TRUE(r.inserted);
+    stale_hint = r.top;  // rightmost top-level node so far
+  }
+  ASSERT_NE(stale_hint, nullptr);
+  tls_counters() = StepCounters{};
+  // Search bound 1 sits left of every node: the walk must follow ~kNodes
+  // prev pointers, exceed the limit, and restart from the head.
+  Node* res = eng_.walk_left(1, stale_hint);
+  EXPECT_EQ(res, eng_.head(3));
+  EXPECT_EQ(tls_counters().walk_fallbacks, 1u);
+  EXPECT_GT(tls_counters().prev_steps, 4000u);
+  tls_counters() = StepCounters{};
 }
 
 TEST_F(GuideHardening, WalkLeftNullFromPoisonBackPointer) {

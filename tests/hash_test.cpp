@@ -9,6 +9,7 @@
 
 #include "common/marked_ptr.h"
 #include "common/random.h"
+#include "common/stats.h"
 
 namespace skiptrie {
 namespace {
@@ -195,6 +196,70 @@ TEST_F(HashTest, ConcurrentInsertEraseMixedStress) {
     ++n;
   });
   EXPECT_EQ(n, m.size());
+}
+
+TEST_F(HashTest, GrowthReachesLoadFactorTarget) {
+  // Regression: maybe_grow used to perform at most one doubling per insert.
+  // The contract now is that after any insert the table satisfies
+  // count <= buckets * kLoadFactor (up to max_buckets) — the smallest such
+  // power of two, i.e. it neither lags the load target nor overshoots it.
+  SplitOrderedMap m(ctx_);
+  const size_t n = 3000;
+  for (size_t i = 0; i < n; ++i) m.insert(i * 2 + 1, i);
+  EXPECT_EQ(m.size(), n);
+  size_t want = 2;
+  while (n > want * SplitOrderedMap::kLoadFactor) want *= 2;
+  EXPECT_EQ(m.bucket_count(), want);
+  EXPECT_LE(m.load_factor(),
+            static_cast<double>(SplitOrderedMap::kLoadFactor));
+  EXPECT_GT(m.load_factor(), 0.0);
+}
+
+TEST_F(HashTest, GrowthRespectsMaxBuckets) {
+  SplitOrderedMap m(ctx_, /*max_buckets=*/64);
+  for (size_t i = 0; i < 1000; ++i) m.insert(i * 3 + 1, i);
+  EXPECT_EQ(m.bucket_count(), 64u);  // capped, load factor exceeded
+  EXPECT_GT(m.load_factor(),
+            static_cast<double>(SplitOrderedMap::kLoadFactor));
+}
+
+TEST_F(HashTest, LookupInitializesBucketsAndStaysChainLocal) {
+  // Regression: lookup on an uninitialized bucket used to scan every node
+  // between the nearest initialized ancestor's dummy and the target bucket.
+  // Now the first lookup initializes the bucket (bounded one-time work) and
+  // every subsequent lookup walks only the bucket-local chain.
+  SplitOrderedMap m(ctx_);
+  const size_t n = 2000;
+  Xoshiro256 rng(7);
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t k = rng.next() | 1ull;
+    if (m.insert(k, i)) keys.push_back(k);
+  }
+  const size_t dummies_before = m.dummy_count();
+
+  tls_counters() = StepCounters{};
+  for (const uint64_t k : keys) ASSERT_TRUE(m.lookup(k).has_value());
+  const uint64_t probes_first = tls_counters().hash_probes;
+  // First pass may splice dummies for buckets growth left uninitialized.
+  EXPECT_GE(m.dummy_count(), dummies_before);
+  EXPECT_LE(m.dummy_count(), m.bucket_count());
+
+  tls_counters() = StepCounters{};
+  for (const uint64_t k : keys) ASSERT_TRUE(m.lookup(k).has_value());
+  const StepCounters warmed = tls_counters();
+  tls_counters() = StepCounters{};
+
+  // Warmed lookups must be chain-local: on average well under 3 chain-node
+  // visits per probe at load factor <= kLoadFactor, and never slower than
+  // the initializing pass.
+  EXPECT_LE(warmed.hash_probes, probes_first);
+  EXPECT_LT(static_cast<double>(warmed.hash_probes),
+            3.0 * static_cast<double>(keys.size()));
+  EXPECT_EQ(warmed.probes_lookup, keys.size());
+  // hash_probes decomposes as one first-visit per find plus chain slack.
+  EXPECT_EQ(warmed.hash_probes,
+            warmed.probes_lookup + warmed.probes_chain);
 }
 
 TEST_F(HashTest, ConcurrentCompareAndDeleteUniqueWinner) {

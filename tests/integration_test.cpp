@@ -48,10 +48,19 @@ TEST(Integration, WorkloadReadOnlyMakesNoStructuralWrites) {
   cfg.mix = OpMix::read_only();
   const WorkloadResult r = run_workload(t, cfg);
   EXPECT_EQ(r.preds, r.total_ops);
-  // Queries never write: no CAS/DCSS attempts beyond the prefill phase
-  // (prefill runs before the measured window).
-  EXPECT_EQ(r.steps.cas_attempts, 0u);
+  // The first read pass may lazily initialize hash buckets left
+  // uninitialized by table growth during prefill (a one-time, amortized
+  // cost: at most a couple of CASes per directory bucket), but never more.
+  const size_t buckets = t.trie().map().bucket_count();
+  EXPECT_LE(r.steps.cas_attempts, 2 * buckets);
   EXPECT_EQ(r.steps.dcss_attempts, 0u);
+
+  // Once warmed, queries never write: no CAS/DCSS attempts at all.
+  cfg.prefill = 0;
+  const WorkloadResult r2 = run_workload(t, cfg);
+  EXPECT_EQ(r2.preds, r2.total_ops);
+  EXPECT_EQ(r2.steps.cas_attempts, 0u);
+  EXPECT_EQ(r2.steps.dcss_attempts, 0u);
 }
 
 TEST(Integration, WorkloadOnBaselines) {
@@ -78,8 +87,10 @@ TEST(Integration, StepCountersSeparateSearchFromUpdateCost) {
 
   SkipTrie t2(c);
   cfg.mix = OpMix::read_only();
+  run_workload(t2, cfg);  // warm-up pass: may initialize hash buckets
+  cfg.prefill = 0;
   const WorkloadResult r = run_workload(t2, cfg);
-  // Write-heavy runs must record update work; read-only must not.
+  // Write-heavy runs must record update work; warmed read-only must not.
   EXPECT_GT(w.steps.cas_attempts + w.steps.dcss_attempts, 0u);
   EXPECT_EQ(r.steps.cas_attempts + r.steps.dcss_attempts, 0u);
 }

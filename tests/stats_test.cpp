@@ -11,21 +11,32 @@ TEST(Stats, AccumulateAndSubtract) {
   StepCounters a;
   a.node_hops = 10;
   a.hash_probes = 3;
+  a.probes_lookup = 2;
+  a.probes_chain = 1;
   StepCounters b;
   b.node_hops = 4;
   b.hash_probes = 1;
   b.cas_attempts = 2;
+  b.probes_binsearch = 5;
+  b.walk_fallbacks = 1;
 
   StepCounters sum = a;
   sum += b;
   EXPECT_EQ(sum.node_hops, 14u);
   EXPECT_EQ(sum.hash_probes, 4u);
   EXPECT_EQ(sum.cas_attempts, 2u);
+  EXPECT_EQ(sum.probes_lookup, 2u);
+  EXPECT_EQ(sum.probes_chain, 1u);
+  EXPECT_EQ(sum.probes_binsearch, 5u);
+  EXPECT_EQ(sum.walk_fallbacks, 1u);
 
   const StepCounters diff = sum - b;
   EXPECT_EQ(diff.node_hops, a.node_hops);
   EXPECT_EQ(diff.hash_probes, a.hash_probes);
   EXPECT_EQ(diff.cas_attempts, 0u);
+  EXPECT_EQ(diff.probes_binsearch, 0u);
+  EXPECT_EQ(diff.walk_fallbacks, 0u);
+  EXPECT_EQ(diff.probes_lookup, a.probes_lookup);
 }
 
 TEST(Stats, SearchStepsDefinition) {
@@ -35,8 +46,15 @@ TEST(Stats, SearchStepsDefinition) {
   c.back_steps = 1;
   c.prev_steps = 1;
   c.cas_attempts = 100;  // writes are not search steps
+  // Attribution counters decompose hash_probes / restarts; adding them to
+  // the sums would double count (DESIGN.md §5.1).
+  c.probes_lookup = 2;
+  c.probes_chain = 1;
+  c.probes_binsearch = 2;
+  c.walk_fallbacks = 3;
   EXPECT_EQ(c.search_steps(), 9u);
   EXPECT_GT(c.total_steps(), c.search_steps());
+  EXPECT_EQ(c.total_steps(), 109u);
 }
 
 TEST(Stats, ThreadLocalIsolation) {

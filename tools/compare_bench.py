@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_suite.json files on step counts and probe counters.
+
+Joins the "cells" arrays on (section, structure, universe_bits, threads,
+mix, dist, repeat) — the stable key documented in README "Benchmarks" —
+and reports, per matched cell, the relative change in:
+
+  - steps_per_op.search and steps_per_op.total
+  - per-op rates of the probe counters (hash_probes, probes_lookup,
+    probes_chain, probes_binsearch, node_hops, walk_fallbacks, restarts)
+  - per_op.predecessor.search_steps_per_op when present
+
+A change worse than --threshold (default 10%) counts as a regression.
+Wall-clock metrics (mops, latency) are intentionally NOT compared: they
+are host-bound, while step counts are the durable signal (ROADMAP).
+
+Exit status: 0 unless --fail-on-regress is given and regressions exist.
+Designed to run as a non-fatal CI report step:
+
+    tools/compare_bench.py BENCH_suite.json build/BENCH_suite_quick.json
+
+Schema: accepts v1 and v2 files; counters missing from an older file are
+skipped (reported as "new"), never treated as zero.
+"""
+
+import argparse
+import json
+import sys
+
+JOIN_KEY = ("section", "structure", "universe_bits", "threads", "mix",
+            "dist", "repeat")
+
+RATE_COUNTERS = ("hash_probes", "probes_lookup", "probes_chain",
+                 "probes_binsearch", "node_hops", "walk_fallbacks",
+                 "restarts")
+
+
+def load_cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    cells = {}
+    for cell in doc.get("cells", []):
+        key = tuple(cell.get(k) for k in JOIN_KEY)
+        cells[key] = cell
+    return doc, cells
+
+
+def metrics_of(cell):
+    """Flatten one cell into {metric_name: per-op value}."""
+    out = {}
+    spo = cell.get("steps_per_op", {})
+    for name in ("search", "total"):
+        if name in spo:
+            out["steps_per_op.%s" % name] = spo[name]
+    ops = cell.get("total_ops", 0)
+    steps = cell.get("steps", {})
+    if ops:
+        for name in RATE_COUNTERS:
+            if name in steps:
+                out["steps.%s/op" % name] = steps[name] / ops
+    pred = cell.get("per_op", {}).get("predecessor")
+    if pred and "search_steps_per_op" in pred:
+        out["per_op.predecessor.search_steps_per_op"] = \
+            pred["search_steps_per_op"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two BENCH_suite.json files on steps/op and "
+                    "probe counters")
+    ap.add_argument("baseline", help="older suite JSON")
+    ap.add_argument("candidate", help="newer suite JSON")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative worsening that counts as a regression "
+                         "(default 0.10 = 10%%)")
+    ap.add_argument("--min-rate", type=float, default=0.05,
+                    help="ignore metrics below this per-op rate in both "
+                         "files (noise floor, default 0.05)")
+    ap.add_argument("--fail-on-regress", action="store_true",
+                    help="exit 1 when regressions are found (default: "
+                         "report only)")
+    ap.add_argument("--top", type=int, default=20,
+                    help="show at most N worst regressions / best "
+                         "improvements (default 20)")
+    args = ap.parse_args()
+
+    base_doc, base = load_cells(args.baseline)
+    cand_doc, cand = load_cells(args.candidate)
+
+    shared = sorted(set(base) & set(cand), key=lambda k: tuple(map(str, k)))
+    if not shared:
+        print("compare_bench: no joinable cells between %s and %s "
+              "(different axes?)" % (args.baseline, args.candidate))
+        print("  baseline: %d cells, schema v%s" %
+              (len(base), base_doc.get("schema_version")))
+        print("  candidate: %d cells, schema v%s" %
+              (len(cand), cand_doc.get("schema_version")))
+        return 0
+
+    regressions = []   # (rel_change, key, metric, old, new)
+    improvements = []
+    new_metrics = set()
+    for key in shared:
+        mb = metrics_of(base[key])
+        mc = metrics_of(cand[key])
+        for name, new_v in mc.items():
+            if name not in mb:
+                new_metrics.add(name)
+                continue
+            old_v = mb[name]
+            if max(old_v, new_v) < args.min_rate:
+                continue
+            if old_v <= 0:
+                continue
+            rel = (new_v - old_v) / old_v
+            row = (rel, key, name, old_v, new_v)
+            if rel > args.threshold:
+                regressions.append(row)
+            elif rel < -args.threshold:
+                improvements.append(row)
+
+    def fmt(row):
+        rel, key, name, old_v, new_v = row
+        cell = "/".join(str(v) for v in key)
+        return "  %+7.1f%%  %-45s %s: %.3f -> %.3f" % (
+            rel * 100, name, cell, old_v, new_v)
+
+    print("compare_bench: %d joinable cells "
+          "(baseline %s @ %s, candidate %s @ %s)" %
+          (len(shared), args.baseline, base_doc.get("git_rev", "?"),
+           args.candidate, cand_doc.get("git_rev", "?")))
+    if new_metrics:
+        print("metrics only in candidate (schema additions, not compared): "
+              + ", ".join(sorted(new_metrics)))
+
+    regressions.sort(key=lambda r: -r[0])
+    improvements.sort(key=lambda r: r[0])
+    print("\n%d regressions beyond %.0f%%:" %
+          (len(regressions), args.threshold * 100))
+    for row in regressions[:args.top]:
+        print(fmt(row))
+    if len(regressions) > args.top:
+        print("  ... and %d more" % (len(regressions) - args.top))
+    print("\n%d improvements beyond %.0f%%:" %
+          (len(improvements), args.threshold * 100))
+    for row in improvements[:args.top]:
+        print(fmt(row))
+    if len(improvements) > args.top:
+        print("  ... and %d more" % (len(improvements) - args.top))
+
+    if regressions and args.fail_on_regress:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -260,9 +260,14 @@ inline std::string git_rev(const Args& args) {
 //       probes_binsearch, walk_fallbacks}; structure_stats.{hash_buckets,
 //       hash_dummies, hash_load_factor}.  Purely additive — v1 consumers
 //       keep working on every key they knew about.
+//   v3  hop attribution + fingered descent (PR 4): steps.{hops_top,
+//       hops_descent, finger_hits, finger_misses, hops_finger_saved}.
+//       hops_top + hops_descent == node_hops; the finger counters tally
+//       descents/levels, not shared-memory steps (DESIGN.md §5.2).
+//       Purely additive again.
 inline void write_suite_header(JsonWriter& j, const char* suite,
                                const std::string& rev, bool quick) {
-  j.kv("schema_version", 2);
+  j.kv("schema_version", 3);
   j.kv("suite", suite);
   j.kv("git_rev", rev);
   j.kv("timestamp_utc", iso8601_utc_now());
@@ -292,6 +297,11 @@ inline void write_suite_header(JsonWriter& j, const char* suite,
 inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
   j.begin_object();
   j.kv("node_hops", s.node_hops);
+  j.kv("hops_top", s.hops_top);
+  j.kv("hops_descent", s.hops_descent);
+  j.kv("finger_hits", s.finger_hits);
+  j.kv("finger_misses", s.finger_misses);
+  j.kv("hops_finger_saved", s.hops_finger_saved);
   j.kv("hash_probes", s.hash_probes);
   j.kv("probes_lookup", s.probes_lookup);
   j.kv("probes_chain", s.probes_chain);

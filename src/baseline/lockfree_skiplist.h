@@ -23,10 +23,14 @@ namespace skiptrie {
 class LockFreeSkipList {
  public:
   // levels: number of index levels; 20 supports ~2^20 keys at the usual
-  // 1/2 promotion probability (depth log m).
+  // 1/2 promotion probability (depth log m).  use_finger mirrors
+  // Config::use_finger so ablation runs can unfinger both structures —
+  // comparing a fingered baseline against an unfingered SkipTrie would
+  // conflate the finger's benefit with the trie's.
   explicit LockFreeSkipList(uint32_t levels = 20,
                             DcssMode mode = DcssMode::kDcss,
-                            uint64_t seed = 0x5eed5eed5eed5eedull);
+                            uint64_t seed = 0x5eed5eed5eed5eedull,
+                            bool use_finger = true);
 
   bool insert(uint64_t key);
   bool erase(uint64_t key);

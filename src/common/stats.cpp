@@ -4,6 +4,11 @@ namespace skiptrie {
 
 StepCounters& StepCounters::operator+=(const StepCounters& o) {
   node_hops += o.node_hops;
+  hops_top += o.hops_top;
+  hops_descent += o.hops_descent;
+  finger_hits += o.finger_hits;
+  finger_misses += o.finger_misses;
+  hops_finger_saved += o.hops_finger_saved;
   hash_probes += o.hash_probes;
   probes_lookup += o.probes_lookup;
   probes_chain += o.probes_chain;
@@ -26,6 +31,11 @@ StepCounters& StepCounters::operator+=(const StepCounters& o) {
 StepCounters StepCounters::operator-(const StepCounters& o) const {
   StepCounters r = *this;
   r.node_hops -= o.node_hops;
+  r.hops_top -= o.hops_top;
+  r.hops_descent -= o.hops_descent;
+  r.finger_hits -= o.finger_hits;
+  r.finger_misses -= o.finger_misses;
+  r.hops_finger_saved -= o.hops_finger_saved;
   r.hash_probes -= o.hash_probes;
   r.probes_lookup -= o.probes_lookup;
   r.probes_chain -= o.probes_chain;

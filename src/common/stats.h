@@ -15,6 +15,18 @@ namespace skiptrie {
 
 struct StepCounters {
   uint64_t node_hops = 0;        // list-node traversal steps (all levels)
+  // Fine-grained attribution of node_hops (see DESIGN.md §5.2).  Like the
+  // probe attribution below, these do NOT enter search_steps()/
+  // total_steps(): hops_top + hops_descent == node_hops always, and the
+  // finger counters tally events/levels, not shared-memory steps.
+  uint64_t hops_top = 0;         // node_hops incurred at the engine's top level
+  uint64_t hops_descent = 0;     // node_hops incurred below the top level
+  uint64_t finger_hits = 0;      // fingered descents entered below the fallback
+                                 // start (bracket cache hit, DESIGN.md §3.6)
+  uint64_t finger_misses = 0;    // fingered descents that used the fallback
+  uint64_t hops_finger_saved = 0;// level searches skipped by finger hits
+                                 // (top - entry level per hit): a lower bound
+                                 // on the node hops the hit avoided
   uint64_t hash_probes = 0;      // hash-chain nodes visited (all find() calls)
   // Fine-grained attribution of hash_probes (see DESIGN.md §5.1).  These do
   // NOT enter search_steps()/total_steps() — they attribute work hash_probes

@@ -25,6 +25,10 @@ struct Config {
   // Maximum bucket count of the prefix hash table.
   size_t max_hash_buckets = 1u << 20;
 
+  // Per-thread fingered descent (DESIGN.md §3.6).  Off = every operation
+  // takes the x-fast pred_start path unconditionally (ablation/diagnosis).
+  bool use_finger = true;
+
   // Slab granularity of the node arena.
   size_t arena_blocks_per_slab = 4096;
 };

@@ -12,6 +12,19 @@ namespace {
 // Per-thread tower-height RNG.  Threads derive distinct streams from the
 // structure seed and a per-thread nonce so concurrent inserters don't share
 // coin flips.
+// Lazy x-fast start for the engine's fingered entry points: only invoked
+// when the calling thread's finger has no usable bracket, so a finger hit
+// pays zero hash probes (DESIGN.md §3.6).
+struct TrieStartEnv {
+  XFastTrie* trie;
+  uint64_t key;
+};
+
+Node* trie_start(void* env, uint64_t x) {
+  auto* e = static_cast<TrieStartEnv*>(env);
+  return e->trie->pred_start(e->key, x);
+}
+
 Xoshiro256& height_rng(uint64_t seed) {
   thread_local uint64_t tl_nonce = 0;
   thread_local Xoshiro256 rng = [] {
@@ -37,6 +50,12 @@ SkipTrie::SkipTrie(const Config& cfg)
       engine_(ctx_, arena_, ceil_log2(cfg.universe_bits)),
       trie_(ctx_, engine_, cfg.universe_bits, cfg.max_hash_buckets) {
   assert(cfg.universe_bits >= 4 && cfg.universe_bits <= 64);
+  engine_.set_finger_enabled(cfg.use_finger);
+}
+
+SkipListEngine::Bracket SkipTrie::locate(uint64_t key, uint64_t x) const {
+  TrieStartEnv env{&trie_, key};
+  return engine_.fingered_descend(x, /*min_level=*/0, &trie_start, &env);
 }
 
 uint64_t SkipTrie::max_key() const {
@@ -48,10 +67,11 @@ bool SkipTrie::insert(uint64_t key) {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
   const uint64_t x = ikey_of(key);
-  Node* start = trie_.pred_start(key, x);
   const uint32_t h =
       height_rng(cfg_.seed).geometric_height(engine_.top_level());
-  const SkipListEngine::InsertResult r = engine_.insert(x, start, h);
+  TrieStartEnv env{&trie_, key};
+  const SkipListEngine::InsertResult r =
+      engine_.fingered_insert(x, h, &trie_start, &env);
   if (!r.inserted) return false;
   size_.fetch_add(1, std::memory_order_relaxed);
   if (r.top != nullptr) {
@@ -71,8 +91,9 @@ bool SkipTrie::erase(uint64_t key) {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
   const uint64_t x = ikey_of(key);
-  Node* start = trie_.pred_start(key, x);
-  SkipListEngine::EraseResult r = engine_.erase(x, start);
+  TrieStartEnv env{&trie_, key};
+  SkipListEngine::EraseResult r =
+      engine_.fingered_erase(x, &trie_start, &env);
   if (!r.erased) return false;
   size_.fetch_sub(1, std::memory_order_relaxed);
   if (r.top != nullptr) {
@@ -88,8 +109,7 @@ bool SkipTrie::contains(uint64_t key) const {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
   const uint64_t x = ikey_of(key);
-  Node* start = trie_.pred_start(key, x);
-  const SkipListEngine::Bracket b = engine_.descend(x, start);
+  const SkipListEngine::Bracket b = locate(key, x);
   return b.right->ikey() == x;
 }
 
@@ -98,8 +118,7 @@ std::optional<uint64_t> SkipTrie::predecessor(uint64_t key) const {
   EbrDomain::Guard g(ebr_);
   // Largest ikey <= ikey(key)  <=>  bracket left of x = ikey(key) + 1.
   const uint64_t x = ikey_of(key) + 1;
-  Node* start = trie_.pred_start(key, x);
-  const SkipListEngine::Bracket b = engine_.descend(x, start);
+  const SkipListEngine::Bracket b = locate(key, x);
   if (b.left->kind() != NodeKind::kInterior) return std::nullopt;  // head
   return b.left->ikey() - 1;
 }
@@ -108,8 +127,7 @@ std::optional<uint64_t> SkipTrie::strict_predecessor(uint64_t key) const {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
   const uint64_t x = ikey_of(key);
-  Node* start = trie_.pred_start(key, x);
-  const SkipListEngine::Bracket b = engine_.descend(x, start);
+  const SkipListEngine::Bracket b = locate(key, x);
   if (b.left->kind() != NodeKind::kInterior) return std::nullopt;
   return b.left->ikey() - 1;
 }
@@ -118,17 +136,17 @@ std::optional<uint64_t> SkipTrie::successor(uint64_t key) const {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
   const uint64_t x = ikey_of(key) + 1;  // first node with ikey >= ikey(key)+1
-  Node* start = trie_.pred_start(key, x);
-  const SkipListEngine::Bracket b = engine_.descend(x, start);
+  const SkipListEngine::Bracket b = locate(key, x);
   if (b.right->kind() != NodeKind::kInterior) return std::nullopt;  // tail
   return b.right->ikey() - 1;
 }
 
 std::optional<uint64_t> SkipTrie::min_key() const {
   EbrDomain::Guard g(ebr_);
-  // First node with ikey >= 1, i.e. the smallest key.
+  // First node with ikey >= 1, i.e. the smallest key.  No trie fallback:
+  // pred_start(x=1) can only ever land on the head anyway.
   const SkipListEngine::Bracket b =
-      engine_.descend(1, engine_.head(engine_.top_level()));
+      engine_.fingered_descend(1, /*min_level=*/0, nullptr, nullptr);
   if (b.right->kind() != NodeKind::kInterior) return std::nullopt;
   return b.right->ikey() - 1;
 }

@@ -11,7 +11,10 @@
 // where u = 2^B is the universe size and c the contention (paper Thm. 4.3).
 // Internally: a truncated lock-free skiplist of log log u levels whose
 // top-level nodes are doubly linked and indexed by a concurrent x-fast trie
-// over a split-ordered hash table; see DESIGN.md for the full inventory.
+// over a split-ordered hash table; every operation's descent goes through a
+// per-thread search finger (DESIGN.md §3.6) that lets repeated or skewed
+// targets skip both the trie query and the upper levels.  See DESIGN.md
+// for the full inventory.
 //
 // Thread safety: all operations may be called concurrently from any number
 // of threads (up to EbrDomain::kMaxThreads distinct threads over the
@@ -73,7 +76,7 @@ class SkipTrie {
     if (lo > hi) return;
     EbrDomain::Guard g(ebr_);
     const uint64_t xlo = ikey_of(lo);
-    const SkipListEngine::Bracket b = engine_.descend(xlo, start_for(lo, xlo));
+    const SkipListEngine::Bracket b = locate(lo, xlo);
     const uint64_t xhi = ikey_of(hi);
     for (Node* n = b.right; n != nullptr && n->kind() == NodeKind::kInterior &&
                             n->ikey() <= xhi;) {
@@ -127,10 +130,11 @@ class SkipTrie {
 
  private:
   uint64_t ikey_of(uint64_t key) const { return key + 1; }
-  // Trie-accelerated start node with ikey < x for a search keyed by `key`.
-  Node* start_for(uint64_t key, uint64_t x) const {
-    return trie_.pred_start(key, x);
-  }
+  // The one fingered descent seam every read-path operation goes through
+  // (DESIGN.md §3.6): a finger hit starts below the top and skips
+  // lowest_ancestor entirely; a miss runs the x-fast pred_start and the
+  // descent seeds the finger from it.  Must be called with ebr_ pinned.
+  SkipListEngine::Bracket locate(uint64_t key, uint64_t x) const;
 
   Config cfg_;
   // Destruction order (reverse of declaration) matters: ebr_ must drain its

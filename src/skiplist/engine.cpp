@@ -3,6 +3,7 @@
 #include <cassert>
 #include <new>
 
+#include "common/backoff.h"
 #include "common/stats.h"
 
 namespace skiptrie {
@@ -102,6 +103,11 @@ SkipListEngine::Bracket SkipListEngine::list_search(uint64_t x, Node* start,
         break;
       }
       c.node_hops++;
+      if (level == top_) {
+        c.hops_top++;  // attribution only; hops_top+hops_descent == node_hops
+      } else {
+        c.hops_descent++;
+      }
       const uint64_t curr_word = dcss_read(curr->next);
       if (is_marked(curr_word)) {
         // curr is logically deleted: unlink it from pred.  The CAS can only
@@ -125,24 +131,50 @@ SkipListEngine::Bracket SkipListEngine::list_search(uint64_t x, Node* start,
   }
 }
 
-SkipListEngine::Bracket SkipListEngine::descend(uint64_t x, Node* start,
-                                                Node** hints) {
+uint32_t SkipListEngine::resolve_start(uint64_t x, Node*& cur) {
+  if (cur != nullptr && cur->level() <= top_ && cur->ikey() < x &&
+      (cur->kind() == NodeKind::kInterior || cur->kind() == NodeKind::kHead)) {
+    return cur->level();
+  }
+  tls_counters().restarts++;
+  cur = head_[top_];
+  return top_;
+}
+
+SkipListEngine::Bracket SkipListEngine::descend_from(uint64_t x, Node* cur,
+                                                     uint32_t lvl,
+                                                     Node** hints,
+                                                     SearchFinger* f,
+                                                     uint64_t epoch) {
   if (hints != nullptr) {
     for (uint32_t l = 0; l <= top_; ++l) hints[l] = head_[l];
   }
-  Node* cur = start;
-  uint32_t lvl;
-  if (cur != nullptr && cur->level() <= top_ && cur->ikey() < x &&
-      (cur->kind() == NodeKind::kInterior || cur->kind() == NodeKind::kHead)) {
-    lvl = cur->level();
-  } else {
-    tls_counters().restarts++;
-    cur = head_[top_];
-    lvl = top_;
+  // Record only the kRecordDepth levels just below the entry level (the
+  // frequency cascade, DESIGN.md §3.6): a target must hit at level l before
+  // its descent may populate rows l-1, l-2.  Recording every traversed
+  // level instead floods the low rows — one fresh level-0 bracket per
+  // operation — so on skewed streams the cold tail evicts the hot brackets
+  // faster than they repeat, and the finger never gets to enter low.  The
+  // cascade anchors at the finger's highest cacheable row: a full-height
+  // baseline enters at top ~ log m, far above what the finger stores.
+  uint32_t record_floor = 0;
+  if (f != nullptr) {
+    const uint32_t eff = lvl < f->max_level() ? lvl : f->max_level();
+    record_floor = eff > SearchFinger::kRecordDepth
+                       ? eff - SearchFinger::kRecordDepth
+                       : 0;
   }
   for (;;) {
     Bracket b = list_search(x, cur, lvl);
     if (hints != nullptr) hints[lvl] = b.left;
+    if (f != nullptr && lvl >= record_floor && lvl <= f->max_level()) {
+      // Seed/refresh the finger with the bracket this level just observed.
+      // The ikeys are re-read here: if either node was recycled since
+      // list_search returned, the entry records a bracket that try_start's
+      // validation will reject (or that merely mis-screens — the finger is
+      // a hint either way, DESIGN.md §3.6).
+      f->record(lvl, b.left, b.left->ikey(), b.right->ikey(), epoch);
+    }
     if (lvl == 0) return b;
     --lvl;
     cur = b.left->kind() == NodeKind::kHead ? head_[lvl] : b.left->down();
@@ -150,7 +182,40 @@ SkipListEngine::Bracket SkipListEngine::descend(uint64_t x, Node* start,
   }
 }
 
+SkipListEngine::Bracket SkipListEngine::descend(uint64_t x, Node* start,
+                                                Node** hints) {
+  Node* cur = start;
+  const uint32_t lvl = resolve_start(x, cur);
+  return descend_from(x, cur, lvl, hints, nullptr, 0);
+}
+
+SkipListEngine::Bracket SkipListEngine::fingered_descend(uint64_t x,
+                                                         uint32_t min_level,
+                                                         StartFn fallback,
+                                                         void* env,
+                                                         Node** hints) {
+  if (!finger_on_) {
+    Node* start = fallback != nullptr ? fallback(env, x) : head_[top_];
+    return descend(x, start, hints);
+  }
+  auto& c = tls_counters();
+  SearchFinger& f = finger();
+  const uint64_t now = ctx_.ebr->global_epoch();
+  Node* start = nullptr;
+  const int hit = f.try_start(x, min_level, now, &start);
+  if (hit >= 0) {
+    c.finger_hits++;
+    c.hops_finger_saved += top_ - static_cast<uint32_t>(hit);
+    return descend_from(x, start, static_cast<uint32_t>(hit), hints, &f, now);
+  }
+  c.finger_misses++;
+  start = fallback != nullptr ? fallback(env, x) : head_[top_];
+  const uint32_t lvl = resolve_start(x, start);
+  return descend_from(x, start, lvl, hints, &f, now);
+}
+
 bool SkipListEngine::mark_node(Node* n, Node* back_hint) {
+  Backoff bo;
   for (;;) {
     const uint64_t w = dcss_read(n->next);
     if (is_marked(w)) return false;
@@ -158,14 +223,17 @@ bool SkipListEngine::mark_node(Node* n, Node* back_hint) {
       n->back.store(back_hint, std::memory_order_release);
     }
     if (counted_cas(n->next, w, with_mark(w))) return true;
+    bo.spin();  // the next word is contended (racing unlink/insert/delete)
   }
 }
 
 void SkipListEngine::set_prev_mark(Node* n) {
+  Backoff bo;
   for (;;) {
     const uint64_t pv = dcss_read(n->prevw);
     if (is_marked(pv)) return;
     if (counted_cas(n->prevw, pv, with_mark(pv))) return;
+    bo.spin();
   }
 }
 
@@ -173,6 +241,7 @@ void SkipListEngine::fix_prev(Node* hint, Node* node) {
   // Algorithm 1, with ready set on every exit path (DESIGN.md §3.5(2)).
   const uint64_t x = node->ikey();
   Bracket b = list_search(x, hint, top_);
+  Backoff bo;
   for (int i = 0; i < kFixPrevRetries; ++i) {
     if (is_marked(dcss_read(node->next))) break;  // node being deleted
     const uint64_t pv = dcss_read(node->prevw);
@@ -184,6 +253,7 @@ void SkipListEngine::fix_prev(Node* hint, Node* node) {
     const DcssResult r = dcss(ctx_, node->prevw, pv, pack_ptr(b.left),
                               b.left->next, pack_ptr(node));
     if (r.success) break;
+    bo.spin();  // every retry implies a concurrent neighborhood change
     if (r.guard_failed) {
       b = list_search(x, b.left, top_);
     }
@@ -244,6 +314,7 @@ SkipListEngine::RaiseStatus SkipListEngine::raise_level(Node* root,
                                                         uint64_t x,
                                                         uint32_t lvl,
                                                         Node*& hint) {
+  Backoff bo;
   for (;;) {
     if (root->stopw.load(std::memory_order_seq_cst) != 0) {
       return RaiseStatus::kStoppedUnpublished;
@@ -290,16 +361,37 @@ SkipListEngine::RaiseStatus SkipListEngine::raise_level(Node* root,
     // evaluation may spuriously abort our descriptor to serialize against a
     // crossed DCSS (see dcss.cpp guard_value), so treating it as "claimed"
     // would silently truncate the tower below its drawn height.
+    bo.spin();
   }
 }
 
 SkipListEngine::InsertResult SkipListEngine::insert(uint64_t x, Node* start,
                                                     uint32_t height) {
-  assert(height <= top_);
   Node* hints[kMaxLevels + 1];
   Bracket b = descend(x, start, hints);
+  return insert_from(x, height, hints, b);
+}
+
+SkipListEngine::InsertResult SkipListEngine::fingered_insert(uint64_t x,
+                                                             uint32_t height,
+                                                             StartFn fallback,
+                                                             void* env) {
+  // min_level = height: the raise path consumes hints[1..height], so a
+  // finger entry below the drawn tower height would leave the raise
+  // searching whole levels from their heads.
+  Node* hints[kMaxLevels + 1];
+  Bracket b = fingered_descend(x, height, fallback, env, hints);
+  return insert_from(x, height, hints, b);
+}
+
+SkipListEngine::InsertResult SkipListEngine::insert_from(uint64_t x,
+                                                         uint32_t height,
+                                                         Node** hints,
+                                                         Bracket b) {
+  assert(height <= top_);
   InsertResult res;
   Node* root = nullptr;
+  Backoff bo;
   for (;;) {
     if (b.right->ikey() == x) {
       // Observed an unmarked node with this key: the key is present.
@@ -313,6 +405,7 @@ SkipListEngine::InsertResult SkipListEngine::insert(uint64_t x, Node* start,
     root->next.store(pack_ptr(b.right), std::memory_order_relaxed);
     // Linearization point of a successful insert: linking at level 0.
     if (counted_cas(b.left->next, pack_ptr(b.right), pack_ptr(root))) break;
+    bo.spin();  // lost to a concurrent writer in this neighborhood
     b = list_search(x, b.left, 0);
   }
   res.root = root;
@@ -365,9 +458,27 @@ Node* SkipListEngine::find_tower_node(uint64_t x, Node* root, uint32_t level,
 }
 
 SkipListEngine::EraseResult SkipListEngine::erase(uint64_t x, Node* start) {
-  EraseResult res;
   Node* hints[kMaxLevels + 1];
   const Bracket b0 = descend(x, start, hints);
+  return erase_from(x, hints, b0);
+}
+
+SkipListEngine::EraseResult SkipListEngine::fingered_erase(uint64_t x,
+                                                           StartFn fallback,
+                                                           void* env) {
+  // min_level = top_: the top-down tower sweep consumes hints at every
+  // level, so only a top-level finger hit (which skips the fallback — for
+  // the SkipTrie, the whole lowest_ancestor query — but still descends
+  // through every level) is usable.
+  Node* hints[kMaxLevels + 1];
+  const Bracket b0 = fingered_descend(x, top_, fallback, env, hints);
+  return erase_from(x, hints, b0);
+}
+
+SkipListEngine::EraseResult SkipListEngine::erase_from(uint64_t x,
+                                                       Node** hints,
+                                                       Bracket b0) {
+  EraseResult res;
   if (b0.right->ikey() != x || b0.right->level() != 0 ||
       b0.right->kind() != NodeKind::kInterior) {
     return res;  // not present
@@ -423,11 +534,13 @@ SkipListEngine::EraseResult SkipListEngine::erase(uint64_t x, Node* start) {
     // Alg. 2 lines 4-7: repair the successor's prev pointer until the
     // successor itself is stable.
     Node* l = hints[top_];
+    Backoff bo;
     for (int i = 0; i < kFixPrevRetries; ++i) {
       Bracket b = list_search(x, l, top_);
       l = b.left;
       fix_prev(b.left, b.right);
       if (!is_marked(dcss_read(b.right->next))) break;
+      bo.spin();  // successor is being deleted too; let its owner finish
     }
     res.top_left = l;
   }

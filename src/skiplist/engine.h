@@ -22,6 +22,7 @@
 
 #include "dcss/dcss.h"
 #include "reclaim/arena.h"
+#include "skiplist/finger.h"
 #include "skiplist/node.h"
 
 namespace skiptrie {
@@ -78,7 +79,8 @@ class SkipListEngine {
 
   // Descend from `start` (any level; validated) to level 0, returning the
   // level-0 bracket.  If hints != nullptr it receives the per-level left
-  // nodes (size must be >= top_level()+1).
+  // nodes (size must be >= top_level()+1).  Finger-free (tests, internal
+  // restarts); public operations route through the fingered entry points.
   Bracket descend(uint64_t x, Node* start, Node** hints = nullptr);
 
   // Insert ikey with tower height `height` (0..top_level), starting the
@@ -88,6 +90,36 @@ class SkipListEngine {
   // Delete ikey, starting from `start`.  Claims the tower via the root's
   // stop word, then removes the tower top-down (paper Alg. 2 / §2).
   EraseResult erase(uint64_t x, Node* start);
+
+  // --- Fingered entry points (DESIGN.md §3.6) -----------------------------
+  // The one descent seam every public SkipTrie and baseline operation goes
+  // through.  The calling thread's SearchFinger is consulted first: a hit
+  // at level l >= min_level starts the descent there, skipping levels
+  // l+1..top *and* the fallback entirely (for the SkipTrie that fallback is
+  // the x-fast trie's pred_start — hash probes and the top-level walk).  On
+  // a miss, `fallback(env, x)` lazily supplies the start node (nullptr
+  // fallback means the top-level head), and the descent that follows seeds
+  // the finger with every bracket it traverses.
+  //
+  // min_level bounds how low a finger hit may enter: reads pass 0, insert
+  // passes its drawn tower height (the raise path needs descent-fresh hints
+  // at every level it touches), erase passes top_level() (its top-down
+  // tower sweep needs hints at every level).
+  using StartFn = Node* (*)(void* env, uint64_t x);
+
+  Bracket fingered_descend(uint64_t x, uint32_t min_level, StartFn fallback,
+                           void* env, Node** hints = nullptr);
+  InsertResult fingered_insert(uint64_t x, uint32_t height, StartFn fallback,
+                               void* env);
+  EraseResult fingered_erase(uint64_t x, StartFn fallback, void* env);
+
+  // The calling thread's finger for this engine (distinct per thread).
+  SearchFinger& finger() const { return tls_finger(finger_owner_, top_); }
+  // Ablation/diagnostic switch: when off, the fingered entry points behave
+  // exactly like their unfingered counterparts (no lookups, no recording,
+  // no finger counters).  Not thread-safe against concurrent operations.
+  void set_finger_enabled(bool on) { finger_on_ = on; }
+  bool finger_enabled() const { return finger_on_; }
 
   // Algorithm 1.  Installs node.prev via DCSS guarded on the predecessor
   // remaining unmarked and adjacent; sets node.ready on exit.
@@ -127,6 +159,17 @@ class SkipListEngine {
   };
 
   bool usable_start(Node* n, uint64_t x, uint32_t level) const;
+  // Validate `cur` as a descent start; falls back to the top-level head
+  // (counting a restart).  Returns the level the descent begins at.
+  uint32_t resolve_start(uint64_t x, Node*& cur);
+  // Core descent loop from (cur, lvl): fills hints and, when f != nullptr,
+  // records every traversed bracket into the finger stamped with `epoch`.
+  Bracket descend_from(uint64_t x, Node* cur, uint32_t lvl, Node** hints,
+                       SearchFinger* f, uint64_t epoch);
+  // Post-descent bodies shared by the plain and fingered entry points.
+  InsertResult insert_from(uint64_t x, uint32_t height, Node** hints,
+                           Bracket b);
+  EraseResult erase_from(uint64_t x, Node** hints, Bracket b0);
   // Marks n (setting back to back_hint first).  Returns true iff this call's
   // CAS performed the unmarked->marked transition (ownership for retiring).
   bool mark_node(Node* n, Node* back_hint);
@@ -142,6 +185,8 @@ class SkipListEngine {
   DcssContext ctx_;
   SlabArena& arena_;
   const uint32_t top_;
+  const uint64_t finger_owner_ = new_finger_owner();
+  bool finger_on_ = true;
   Node* head_[kMaxLevels + 1];
   Node* tail_;
 };

@@ -1,0 +1,117 @@
+#include "skiplist/finger.h"
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+
+#include "dcss/dcss.h"
+
+namespace skiptrie {
+
+void SearchFinger::reset(uint64_t owner, uint32_t top_level) {
+  owner_ = owner;
+  levels_ = top_level + 1 < kLevels ? top_level + 1 : kLevels;
+  invalidate();
+}
+
+void SearchFinger::invalidate() {
+  for (uint32_t l = 0; l < kLevels; ++l) {
+    cursor_[l] = 0;
+    for (uint32_t w = 0; w < kWays; ++w) e_[l][w] = Entry{};
+  }
+}
+
+void SearchFinger::record(uint32_t lvl, Node* left, uint64_t left_ikey,
+                          uint64_t right_ikey, uint64_t epoch) {
+  if (lvl >= levels_) return;
+  Entry* row = e_[lvl];
+  for (uint32_t w = 0; w < kWays; ++w) {
+    if (row[w].left != nullptr && row[w].left_ikey == left_ikey) {
+      row[w] = Entry{left, left_ikey, right_ikey, epoch, /*ref=*/true};
+      return;
+    }
+  }
+  // Second-chance eviction: sweep the clock hand, clearing ref bits, until
+  // an unreferenced entry turns up (bounded: after one full sweep every
+  // bit is clear).
+  uint32_t v = cursor_[lvl];
+  for (uint32_t i = 0; i < kWays && row[v].ref; ++i) {
+    row[v].ref = false;
+    v = (v + 1) % kWays;
+  }
+  cursor_[lvl] = (v + 1) % kWays;
+  row[v] = Entry{left, left_ikey, right_ikey, epoch, /*ref=*/false};
+}
+
+int SearchFinger::try_start(uint64_t x, uint32_t min_level,
+                            uint64_t now_epoch, Node** out) {
+  for (uint32_t lvl = min_level; lvl < levels_; ++lvl) {
+    Entry* row = e_[lvl];
+    for (uint32_t w = 0; w < kWays; ++w) {
+      Entry& en = row[w];
+      // Cheap, purely thread-local screens first: only a bracket that
+      // contains x and is epoch-fresh earns the (possibly cold) node reads.
+      if (en.left == nullptr) continue;
+      if (!(en.left_ikey < x && x <= en.right_ikey)) continue;
+      if (now_epoch - en.epoch > kMaxEpochLag) continue;
+      // Validate the node itself.  Type-stable storage makes these reads
+      // safe even if the node was retired; the checks reject poisoned,
+      // recycled-to-another-identity, and marked nodes (DESIGN.md §3.6).
+      Node* n = en.left;
+      const NodeKind k = n->kind();
+      if (k != NodeKind::kInterior && k != NodeKind::kHead) continue;
+      if (n->level() != lvl) continue;
+      if (n->ikey() != en.left_ikey) continue;
+      const uint64_t nw = dcss_read(n->next);
+      if (is_marked(nw)) continue;
+      // Adjacency at use time: the bracket was adjacent when recorded, but
+      // inserts since can have filled the gap — in the worst case a bracket
+      // recorded against a sparse list (left = head, right = tail) contains
+      // every future target and a "hit" on it walks the whole level, worse
+      // than the miss path.  One read of left's successor rejects exactly
+      // those: accept only if nothing sits strictly between left and x, so
+      // a hit always enters its level in O(1) hops.
+      Node* succ = unpack_ptr<Node>(nw);
+      if (succ == nullptr || succ->ikey() < x) continue;
+      en.ref = true;  // a serving entry earns its second chance
+      *out = n;
+      return static_cast<int>(lvl);
+    }
+  }
+  return kMiss;
+}
+
+namespace {
+
+// Per-thread finger cache.  Slots are bound to owner ids on demand and
+// recycled round-robin; because owner ids are never reused, a stale slot
+// can never be mistaken for a live engine's finger (its pointers sit inert
+// until the slot is rebound and reset).
+struct FingerSlot {
+  uint64_t owner = 0;
+  std::unique_ptr<SearchFinger> finger;
+};
+constexpr size_t kTlsFingerSlots = 4;
+thread_local FingerSlot tl_finger_slots[kTlsFingerSlots];
+thread_local size_t tl_finger_victim = 0;
+
+}  // namespace
+
+SearchFinger& tls_finger(uint64_t owner, uint32_t top_level) {
+  for (FingerSlot& s : tl_finger_slots) {
+    if (s.owner == owner && s.finger != nullptr) return *s.finger;
+  }
+  FingerSlot& s = tl_finger_slots[tl_finger_victim];
+  tl_finger_victim = (tl_finger_victim + 1) % kTlsFingerSlots;
+  if (s.finger == nullptr) s.finger = std::make_unique<SearchFinger>();
+  s.owner = owner;
+  s.finger->reset(owner, top_level);
+  return *s.finger;
+}
+
+uint64_t new_finger_owner() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace skiptrie

@@ -61,11 +61,20 @@ std::string WorkloadResult::summary() const {
        << latency_percentile_ns(0.99) << "ns";
     os.precision(2);
   }
-  os << "; hops " << steps.node_hops << " probes " << steps.hash_probes
+  os << "; hops " << steps.node_hops << " (top " << steps.hops_top
+     << " descent " << steps.hops_descent << ")"
+     << " probes " << steps.hash_probes
      << " (lookups " << steps.probes_lookup << " chain " << steps.probes_chain
      << " binsearch " << steps.probes_binsearch << ")"
      << " back " << steps.back_steps << " prev " << steps.prev_steps
      << " restarts " << steps.restarts << " walk_fb " << steps.walk_fallbacks;
+  const uint64_t fingered = steps.finger_hits + steps.finger_misses;
+  if (fingered > 0) {
+    os << "; finger " << steps.finger_hits << "/" << fingered << " hits ("
+       << 100.0 * static_cast<double>(steps.finger_hits) /
+              static_cast<double>(fingered)
+       << "%) saved-levels " << steps.hops_finger_saved;
+  }
   return os.str();
 }
 

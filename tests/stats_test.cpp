@@ -10,33 +10,51 @@ namespace {
 TEST(Stats, AccumulateAndSubtract) {
   StepCounters a;
   a.node_hops = 10;
+  a.hops_top = 4;
+  a.hops_descent = 6;
   a.hash_probes = 3;
   a.probes_lookup = 2;
   a.probes_chain = 1;
+  a.finger_hits = 7;
   StepCounters b;
   b.node_hops = 4;
+  b.hops_top = 1;
+  b.hops_descent = 3;
   b.hash_probes = 1;
   b.cas_attempts = 2;
   b.probes_binsearch = 5;
   b.walk_fallbacks = 1;
+  b.finger_hits = 2;
+  b.finger_misses = 3;
+  b.hops_finger_saved = 9;
 
   StepCounters sum = a;
   sum += b;
   EXPECT_EQ(sum.node_hops, 14u);
+  EXPECT_EQ(sum.hops_top, 5u);
+  EXPECT_EQ(sum.hops_descent, 9u);
   EXPECT_EQ(sum.hash_probes, 4u);
   EXPECT_EQ(sum.cas_attempts, 2u);
   EXPECT_EQ(sum.probes_lookup, 2u);
   EXPECT_EQ(sum.probes_chain, 1u);
   EXPECT_EQ(sum.probes_binsearch, 5u);
   EXPECT_EQ(sum.walk_fallbacks, 1u);
+  EXPECT_EQ(sum.finger_hits, 9u);
+  EXPECT_EQ(sum.finger_misses, 3u);
+  EXPECT_EQ(sum.hops_finger_saved, 9u);
 
   const StepCounters diff = sum - b;
   EXPECT_EQ(diff.node_hops, a.node_hops);
+  EXPECT_EQ(diff.hops_top, a.hops_top);
+  EXPECT_EQ(diff.hops_descent, a.hops_descent);
   EXPECT_EQ(diff.hash_probes, a.hash_probes);
   EXPECT_EQ(diff.cas_attempts, 0u);
   EXPECT_EQ(diff.probes_binsearch, 0u);
   EXPECT_EQ(diff.walk_fallbacks, 0u);
   EXPECT_EQ(diff.probes_lookup, a.probes_lookup);
+  EXPECT_EQ(diff.finger_hits, a.finger_hits);
+  EXPECT_EQ(diff.finger_misses, 0u);
+  EXPECT_EQ(diff.hops_finger_saved, 0u);
 }
 
 TEST(Stats, SearchStepsDefinition) {
@@ -46,12 +64,17 @@ TEST(Stats, SearchStepsDefinition) {
   c.back_steps = 1;
   c.prev_steps = 1;
   c.cas_attempts = 100;  // writes are not search steps
-  // Attribution counters decompose hash_probes / restarts; adding them to
-  // the sums would double count (DESIGN.md §5.1).
+  // Attribution counters decompose hash_probes / node_hops / restarts;
+  // adding them to the sums would double count (DESIGN.md §5.1, §5.2).
   c.probes_lookup = 2;
   c.probes_chain = 1;
   c.probes_binsearch = 2;
   c.walk_fallbacks = 3;
+  c.hops_top = 2;
+  c.hops_descent = 3;
+  c.finger_hits = 1;
+  c.finger_misses = 1;
+  c.hops_finger_saved = 4;
   EXPECT_EQ(c.search_steps(), 9u);
   EXPECT_GT(c.total_steps(), c.search_steps());
   EXPECT_EQ(c.total_steps(), 109u);

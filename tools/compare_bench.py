@@ -19,8 +19,8 @@ Designed to run as a non-fatal CI report step:
 
     tools/compare_bench.py BENCH_suite.json build/BENCH_suite_quick.json
 
-Schema: accepts v1 and v2 files; counters missing from an older file are
-skipped (reported as "new"), never treated as zero.
+Schema: accepts v1, v2 and v3 files; counters missing from an older file
+are skipped (reported as "new"), never treated as zero.
 """
 
 import argparse
@@ -30,9 +30,12 @@ import sys
 JOIN_KEY = ("section", "structure", "universe_bits", "threads", "mix",
             "dist", "repeat")
 
+# Note: the finger counters (finger_hits/misses, hops_finger_saved) are
+# intentionally absent — a hit-rate shift is not by itself a regression;
+# its cost shows up in node_hops / hops_top / hops_descent, which are.
 RATE_COUNTERS = ("hash_probes", "probes_lookup", "probes_chain",
-                 "probes_binsearch", "node_hops", "walk_fallbacks",
-                 "restarts")
+                 "probes_binsearch", "node_hops", "hops_top",
+                 "hops_descent", "walk_fallbacks", "restarts")
 
 
 def load_cells(path):
@@ -80,6 +83,11 @@ def main():
     ap.add_argument("--fail-on-regress", action="store_true",
                     help="exit 1 when regressions are found (default: "
                          "report only)")
+    ap.add_argument("--max-threads", type=int, default=None,
+                    help="only compare cells with threads <= N (multi-"
+                         "thread step counts vary with interleaving and "
+                         "host parallelism; single-thread cells are "
+                         "deterministic up to cell order)")
     ap.add_argument("--top", type=int, default=20,
                     help="show at most N worst regressions / best "
                          "improvements (default 20)")
@@ -89,6 +97,10 @@ def main():
     cand_doc, cand = load_cells(args.candidate)
 
     shared = sorted(set(base) & set(cand), key=lambda k: tuple(map(str, k)))
+    if args.max_threads is not None:
+        ti = JOIN_KEY.index("threads")
+        shared = [k for k in shared
+                  if k[ti] is not None and k[ti] <= args.max_threads]
     if not shared:
         print("compare_bench: no joinable cells between %s and %s "
               "(different axes?)" % (args.baseline, args.candidate))

@@ -13,6 +13,15 @@
 //   grid              the full cross product at a fixed modest prefill:
 //                     throughput, latency percentiles and step attribution
 //                     under contention, skew and clustering.
+//   batch             batched-op cells (DESIGN.md §3.7): single-threaded
+//                     {skiptrie, skiplist} x {insert_only, lookup_only,
+//                     balanced, write_heavy} x {uniform, zipf, clustered}
+//                     x --batch-sizes at --batch-bits, same seed across
+//                     batch sizes so cells run the same per-window
+//                     (key, op) multiset and differ only in grouping (and
+//                     the intra-window reordering grouping implies; see
+//                     WorkloadConfig::batch_size) — the amortization read
+//                     is hops+probes per key at batch_size = n vs 1.
 //
 // `--quick` shrinks every axis so the suite finishes in seconds; it is
 // registered in ctest so the subsystem cannot bit-rot.
@@ -66,6 +75,15 @@ struct ScalingPoint {
   uint32_t count = 0;
 };
 
+struct BatchPoint {
+  std::string structure;
+  std::string mix;
+  std::string dist;
+  uint32_t batch_size = 0;
+  double hops_probes_per_key = 0.0;  // (node_hops + hash_probes) / keys
+  double reuse_rate = 0.0;           // cursor_reuses / (reuses + redescends)
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,7 +95,9 @@ int main(int argc, char** argv) {
         "                           are single-sample by design)\n"
         "            [--structures a,b] [--threads 1,2,4,8] [--bits 16,24,32,64]\n"
         "            [--mixes read_only,...] [--dists uniform,...]\n"
-        "            [--ops TOTAL_PER_CELL] [--prefill N] [--scaling-ops N]\n");
+        "            [--ops TOTAL_PER_CELL] [--prefill N] [--scaling-ops N]\n"
+        "            [--batch-sizes 1,16,256] [--batch-bits B]\n"
+        "            [--batch-space N] [--batch-prefill N]  (batch section)\n");
     return 0;
   }
   const bool quick = args.has("--quick");
@@ -104,6 +124,17 @@ int main(int argc, char** argv) {
   const uint64_t scaling_ops = args.get_u64("--scaling-ops", quick ? 2000 : 30000);
   const uint32_t latency_every =
       static_cast<uint32_t>(args.get_u64("--latency-every", quick ? 16 : 64));
+  std::vector<uint32_t> batch_sizes =
+      split_csv_u32(args.get("--batch-sizes", quick ? "1,16" : "1,16,256"));
+  const uint32_t batch_bits =
+      static_cast<uint32_t>(args.get_u64("--batch-bits", 32));
+  // The batch section's workload shape: a dense active key range (bulk
+  // ingest / multi-get against a bounded ID space).  Cursor amortization is
+  // governed by present-keys-per-batch-gap = n/batch_size — a *population*
+  // ratio, not a key-space one — so the section keeps n modest; the sparse
+  // full-universe regime is ROADMAP-documented rather than swept.
+  const uint64_t batch_space = args.get_u64("--batch-space", 2048);
+  const uint64_t batch_prefill = args.get_u64("--batch-prefill", 512);
 
   // Resolve named axes against the registries in bench_util.h; a token that
   // matches nothing is an error, not a silently shrunken sweep.
@@ -162,6 +193,16 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (batch_bits < 4 || batch_bits > 64) {
+    std::fprintf(stderr, "bench_suite: --batch-bits must be 4..64\n");
+    return 1;
+  }
+  for (const uint32_t bs : batch_sizes) {
+    if (bs == 0 || bs > (1u << 20)) {
+      std::fprintf(stderr, "bench_suite: bad batch size %u\n", bs);
+      return 1;
+    }
+  }
   if (mixes.empty() || dists.empty() || structures.empty() ||
       threads_axis.empty() || bits_axis.empty()) {
     std::fprintf(stderr, "bench_suite: empty axis\n");
@@ -179,6 +220,12 @@ int main(int argc, char** argv) {
   // where run-to-run variance matters); grid cells are single-sample.
   j.kv("scaling_repeats", static_cast<uint64_t>(repeats));
   j.kv("latency_sample_every", static_cast<uint64_t>(latency_every));
+  j.kv("batch_bits", batch_bits);
+  j.kv("batch_space", batch_space);
+  j.kv("batch_prefill", batch_prefill);
+  j.key("batch_sizes").begin_array();
+  for (const uint32_t bs : batch_sizes) j.value(static_cast<uint64_t>(bs));
+  j.end_array();
   j.end_object();
   j.key("cells").begin_array();
   j.newline();
@@ -261,6 +308,80 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Section 3: batched ops ----------------------------------------------
+  // One key stream per (structure, mix, dist) — the cell seed ignores
+  // batch_size — regrouped at each batch size, so the per-key step deltas
+  // measure batching (grouping plus the bounded intra-window reordering it
+  // implies; see WorkloadConfig::batch_size).  Single-threaded: the
+  // amortization claim is a step-count claim, and 1t cells are the
+  // deterministic, CI-gated ones.
+  std::vector<BatchPoint> batch_pts;
+  {
+    std::vector<std::string> batch_mix_names =
+        quick ? std::vector<std::string>{"insert_only", "lookup_only"}
+              : std::vector<std::string>{"insert_only", "lookup_only",
+                                         "balanced", "write_heavy"};
+    // clustered is the batch API's home turf (multi-get / range ingest:
+    // sorted batch keys are adjacent at any population size); uniform and
+    // zipf bound the scattered-key regimes.
+    const std::vector<KeyDist> batch_dists = {
+        KeyDist::kUniform, KeyDist::kZipf, KeyDist::kClustered};
+    for (size_t si = 0; si < structures.size(); ++si) {
+      const std::string& structure = structures[si];
+      if (structure == "locked_map") continue;  // no batch API
+      for (size_t mi = 0; mi < batch_mix_names.size(); ++mi) {
+        const NamedMix* nm = nullptr;
+        for (const NamedMix& m : all_mixes()) {
+          if (batch_mix_names[mi] == m.name) nm = &m;
+        }
+        if (nm == nullptr) continue;  // unreachable: fixed registry names
+        for (size_t di = 0; di < batch_dists.size(); ++di) {
+          for (const uint32_t bs : batch_sizes) {
+            CellSpec spec;
+            spec.section = "batch";
+            spec.structure = structure;
+            spec.mix_name = nm->name;
+            spec.universe_bits = batch_bits;
+            spec.wc.threads = 1;
+            spec.wc.ops_per_thread = grid_ops;
+            spec.wc.mix = nm->mix;
+            spec.wc.dist = batch_dists[di];
+            spec.wc.key_space =
+                std::min<uint64_t>(batch_space, bench_key_space(batch_bits));
+            spec.wc.prefill = std::min<uint64_t>(batch_prefill,
+                                                 spec.wc.key_space / 2);
+            // Identical across batch sizes: same keys, same heights
+            // (heights are seed-stable per key), different grouping only.
+            spec.wc.seed = cell_seed(batch_bits, 1, mi + 64, di, si, 0);
+            spec.wc.latency_sample_every = latency_every;
+            spec.wc.batch_size = bs;
+            const CellResult res = run_cell(spec);
+            write_cell(j, spec, res);
+            BatchPoint pt;
+            pt.structure = structure;
+            pt.mix = nm->name;
+            pt.dist = key_dist_name(batch_dists[di]);
+            pt.batch_size = bs;
+            const uint64_t keys = res.r.total_ops;
+            pt.hops_probes_per_key =
+                keys ? static_cast<double>(res.r.steps.node_hops +
+                                           res.r.steps.hash_probes) /
+                           static_cast<double>(keys)
+                     : 0.0;
+            const uint64_t warm =
+                res.r.steps.cursor_reuses + res.r.steps.cursor_redescends;
+            pt.reuse_rate =
+                warm ? static_cast<double>(res.r.steps.cursor_reuses) /
+                           static_cast<double>(warm)
+                     : 0.0;
+            batch_pts.push_back(pt);
+            progress("batch");
+          }
+        }
+      }
+    }
+  }
+
   j.end_array();
 
   // Scaling digest: the acceptance-criterion numbers, directly readable.
@@ -271,6 +392,21 @@ int main(int argc, char** argv) {
     j.kv("universe_bits", pt.bits);
     j.kv("prefill", pt.prefill);
     j.kv("pred_search_steps_per_op", pt.pred_steps_per_op);
+    j.end_object();
+  }
+  j.end_array();
+
+  // Batch digest: hops+probes per key by batch size (the amortization
+  // acceptance read), plus the cursor reuse rate.
+  j.key("batch_summary").begin_array();
+  for (const BatchPoint& pt : batch_pts) {
+    j.begin_object();
+    j.kv("structure", pt.structure);
+    j.kv("mix", pt.mix);
+    j.kv("dist", pt.dist);
+    j.kv("batch_size", pt.batch_size);
+    j.kv("hops_probes_per_key", pt.hops_probes_per_key);
+    j.kv("cursor_reuse_rate", pt.reuse_rate);
     j.end_object();
   }
   j.end_array();
@@ -289,6 +425,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(pt.prefill),
                 pt.pred_steps_per_op);
   }
+  if (!batch_pts.empty()) {
+    header("bench_suite: batched ops (node_hops+probes per key)");
+    std::printf("%-10s %-12s %-10s %-8s %-12s %-10s\n", "structure", "mix",
+                "dist", "batch", "steps/key", "reuse");
+    row_sep(68);
+    for (const BatchPoint& pt : batch_pts) {
+      std::printf("%-10s %-12s %-10s %-8u %-12.1f %-10.2f\n",
+                  pt.structure.c_str(), pt.mix.c_str(), pt.dist.c_str(),
+                  pt.batch_size, pt.hops_probes_per_key, pt.reuse_rate);
+    }
+  }
+
   std::printf("\n%zu cells -> %s\n", cells_run, out_path.c_str());
   std::printf(
       "Paper shape: SkipTrie steps track log log u across universe bits;\n"

@@ -166,6 +166,10 @@ inline const std::vector<NamedMix>& all_mixes() {
       {"read_heavy", OpMix::read_heavy()},
       {"balanced", OpMix::balanced()},
       {"write_heavy", OpMix::write_heavy()},
+      // Single-op-type mixes used by the batched section (bulk load /
+      // multi-get shapes); resolvable from --mixes everywhere.
+      {"insert_only", OpMix::insert_only()},
+      {"lookup_only", OpMix::lookup_only()},
   };
   return mixes;
 }
@@ -265,9 +269,14 @@ inline std::string git_rev(const Args& args) {
 //       hops_top + hops_descent == node_hops; the finger counters tally
 //       descents/levels, not shared-memory steps (DESIGN.md §5.2).
 //       Purely additive again.
+//   v4  batched ops + descent cursor (PR 5): cells gain the `batch_size`
+//       axis (default 1 — older files join as batch_size = 1) and
+//       steps.{cursor_reuses, cursor_redescends, batch_ops, batch_keys}
+//       (DESIGN.md §5.3; event counters, not shared-memory steps); a new
+//       "batch" section sweeps batch sizes.  Purely additive again.
 inline void write_suite_header(JsonWriter& j, const char* suite,
                                const std::string& rev, bool quick) {
-  j.kv("schema_version", 3);
+  j.kv("schema_version", 4);
   j.kv("suite", suite);
   j.kv("git_rev", rev);
   j.kv("timestamp_utc", iso8601_utc_now());
@@ -318,6 +327,10 @@ inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
   j.kv("walk_fallbacks", s.walk_fallbacks);
   j.kv("trie_level_ops", s.trie_level_ops);
   j.kv("retired_nodes", s.retired_nodes);
+  j.kv("cursor_reuses", s.cursor_reuses);
+  j.kv("cursor_redescends", s.cursor_redescends);
+  j.kv("batch_ops", s.batch_ops);
+  j.kv("batch_keys", s.batch_keys);
   j.end_object();
 }
 
@@ -334,6 +347,7 @@ inline void write_cell(JsonWriter& j, const CellSpec& spec,
   j.kv("threads", spec.wc.threads);
   j.kv("mix", spec.mix_name);
   j.kv("dist", key_dist_name(spec.wc.dist));
+  j.kv("batch_size", spec.wc.batch_size);
   j.kv("key_space", spec.wc.key_space);
   j.kv("prefill", spec.wc.prefill);
   j.kv("seed", spec.wc.seed);

@@ -1,19 +1,12 @@
 #include "baseline/lockfree_skiplist.h"
 
+#include <cassert>
+
 #include "common/random.h"
+#include "core/batch.h"
+#include "skiplist/cursor.h"
 
 namespace skiptrie {
-
-namespace {
-Xoshiro256& baseline_rng(uint64_t seed) {
-  thread_local uint64_t nonce = [] {
-    static std::atomic<uint64_t> counter{0x1000};
-    return counter.fetch_add(1, std::memory_order_relaxed);
-  }();
-  thread_local Xoshiro256 rng(mix64(seed ^ mix64(nonce)));
-  return rng;
-}
-}  // namespace
 
 LockFreeSkipList::LockFreeSkipList(uint32_t levels, DcssMode mode,
                                    uint64_t seed, bool use_finger)
@@ -28,10 +21,9 @@ LockFreeSkipList::LockFreeSkipList(uint32_t levels, DcssMode mode,
 bool LockFreeSkipList::insert(uint64_t key) {
   EbrDomain::Guard g(ebr_);
   const uint64_t x = ikey_of(key);
-  const uint32_t h =
-      baseline_rng(seed_).geometric_height(engine_.top_level());
+  const uint32_t h = deterministic_height(seed_, x, engine_.top_level());
   // Null fallback = top-level head: the baseline has no trie, but it shares
-  // the fingered entry points (DESIGN.md §3.6) so steps/op comparisons
+  // the cursor entry points (DESIGN.md §3.6–§3.7) so steps/op comparisons
   // against the SkipTrie isolate the paper's claim, not the finger.
   const auto r = engine_.fingered_insert(x, h, nullptr, nullptr);
   if (r.undone_top != nullptr) {
@@ -79,6 +71,97 @@ std::optional<uint64_t> LockFreeSkipList::successor(uint64_t key) const {
 size_t LockFreeSkipList::size() const {
   const int64_t s = size_.load(std::memory_order_relaxed);
   return s > 0 ? static_cast<size_t>(s) : 0;
+}
+
+size_t LockFreeSkipList::insert_batch(const uint64_t* keys, size_t n,
+                                      uint8_t* results) {
+  if (n == 0) return 0;
+  if (!cursor_batching_) {
+    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+      const bool hit = insert(k);
+      if (results != nullptr) results[i] = hit;
+      return hit;
+    });
+  }
+  DescentCursor& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    EbrDomain::Guard g(ebr_);
+    const uint64_t x = ikey_of(k);
+    const uint32_t h = deterministic_height(seed_, x, engine_.top_level());
+    const auto r = engine_.cursor_insert(cur, x, h, engine_.top_level(),
+                                         nullptr, nullptr);
+    if (r.undone_top != nullptr) engine_.retire_node(r.undone_top);
+    if (r.inserted) size_.fetch_add(1, std::memory_order_relaxed);
+    if (results != nullptr) results[i] = r.inserted;
+    return r.inserted;
+  });
+}
+
+size_t LockFreeSkipList::erase_batch(const uint64_t* keys, size_t n,
+                                     uint8_t* results) {
+  if (n == 0) return 0;
+  if (!cursor_batching_) {
+    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+      const bool hit = erase(k);
+      if (results != nullptr) results[i] = hit;
+      return hit;
+    });
+  }
+  DescentCursor& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    EbrDomain::Guard g(ebr_);
+    const uint64_t x = ikey_of(k);
+    auto r = engine_.cursor_erase(cur, x, nullptr, nullptr);
+    if (r.erased) {
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      engine_.retire_owned(r);
+    }
+    if (results != nullptr) results[i] = r.erased;
+    return r.erased;
+  });
+}
+
+size_t LockFreeSkipList::contains_batch(const uint64_t* keys, size_t n,
+                                        uint8_t* results) const {
+  if (n == 0) return 0;
+  if (!cursor_batching_) {
+    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+      const bool hit = contains(k);
+      if (results != nullptr) results[i] = hit;
+      return hit;
+    });
+  }
+  DescentCursor& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    EbrDomain::Guard g(ebr_);
+    const uint64_t x = ikey_of(k);
+    const auto b = engine_.cursor_descend(cur, x, nullptr, nullptr);
+    const bool hit = b.right->ikey() == x;
+    if (results != nullptr) results[i] = hit;
+    return hit;
+  });
+}
+
+size_t LockFreeSkipList::predecessor_batch(
+    const uint64_t* keys, size_t n, std::optional<uint64_t>* results) const {
+  if (n == 0) return 0;
+  if (!cursor_batching_) {
+    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+      const std::optional<uint64_t> p = predecessor(k);
+      if (results != nullptr) results[i] = p;
+      return p.has_value();
+    });
+  }
+  DescentCursor& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    EbrDomain::Guard g(ebr_);
+    const uint64_t x = ikey_of(k) + 1;
+    const auto b = engine_.cursor_descend(cur, x, nullptr, nullptr);
+    std::optional<uint64_t> p;
+    if (b.left->kind() == NodeKind::kInterior) p = b.left->ikey() - 1;
+    if (results != nullptr) results[i] = p;
+    return p.has_value();
+  });
 }
 
 }  // namespace skiptrie

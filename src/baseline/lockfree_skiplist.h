@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "reclaim/arena.h"
 #include "reclaim/ebr.h"
@@ -38,6 +39,41 @@ class LockFreeSkipList {
   std::optional<uint64_t> predecessor(uint64_t key) const;  // largest <= key
   std::optional<uint64_t> successor(uint64_t key) const;    // smallest > key
 
+  // Batched operations (DESIGN.md §3.7): same contract as SkipTrie's —
+  // sort, stream through one DescentCursor, results in input order, each
+  // key linearizing individually.  Provided on the baseline so batched
+  // steps/op comparisons isolate the paper's claim, like the single-key
+  // seam does.
+  size_t insert_batch(const uint64_t* keys, size_t n,
+                      uint8_t* results = nullptr);
+  size_t erase_batch(const uint64_t* keys, size_t n,
+                     uint8_t* results = nullptr);
+  size_t contains_batch(const uint64_t* keys, size_t n,
+                        uint8_t* results = nullptr) const;
+  size_t predecessor_batch(const uint64_t* keys, size_t n,
+                           std::optional<uint64_t>* results = nullptr) const;
+
+  size_t insert_batch(const std::vector<uint64_t>& keys,
+                      uint8_t* results = nullptr) {
+    return insert_batch(keys.data(), keys.size(), results);
+  }
+  size_t erase_batch(const std::vector<uint64_t>& keys,
+                     uint8_t* results = nullptr) {
+    return erase_batch(keys.data(), keys.size(), results);
+  }
+  size_t contains_batch(const std::vector<uint64_t>& keys,
+                        uint8_t* results = nullptr) const {
+    return contains_batch(keys.data(), keys.size(), results);
+  }
+  size_t predecessor_batch(const std::vector<uint64_t>& keys,
+                           std::optional<uint64_t>* results = nullptr) const {
+    return predecessor_batch(keys.data(), keys.size(), results);
+  }
+
+  // Mirrors Config::use_cursor_batching (ablation; not thread-safe against
+  // concurrent operations).
+  void set_cursor_batching(bool on) { cursor_batching_ = on; }
+
   size_t size() const;
   SkipListEngine& engine() { return engine_; }
   EbrDomain& ebr() const { return ebr_; }
@@ -46,6 +82,7 @@ class LockFreeSkipList {
   uint64_t ikey_of(uint64_t key) const { return key + 1; }
 
   uint64_t seed_;
+  bool cursor_batching_ = true;
   mutable SlabArena arena_;
   mutable EbrDomain ebr_;
   DcssContext ctx_;

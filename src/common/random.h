@@ -20,6 +20,25 @@ inline uint64_t mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Seed-stable tower height: a Geometric(1/2) draw in [0, cap] derived from
+// (seed, ikey) alone — no thread-local state, no draw-order dependence.  Two
+// runs with the same structure seed give every key the same tower height
+// regardless of thread start order or operation interleaving, which is what
+// makes step counts cell-comparable across suite runs with different axis
+// compositions (ROADMAP "cross-run comparability").  Re-inserting an erased
+// key redraws the same height; the heights across *distinct* keys are still
+// i.i.d. fair-coin towers, which is all the skiplist analysis needs.
+inline uint32_t deterministic_height(uint64_t seed, uint64_t ikey,
+                                     uint32_t cap) {
+  uint64_t r = mix64(seed ^ mix64(ikey));
+  uint32_t h = 0;
+  while (h < cap && (r & 1ull)) {
+    ++h;
+    r >>= 1;
+  }
+  return h;
+}
+
 class Xoshiro256 {
  public:
   explicit Xoshiro256(uint64_t seed = 0x853c49e6748fea9bull);

@@ -25,6 +25,10 @@ StepCounters& StepCounters::operator+=(const StepCounters& o) {
   walk_fallbacks += o.walk_fallbacks;
   trie_level_ops += o.trie_level_ops;
   retired_nodes += o.retired_nodes;
+  cursor_reuses += o.cursor_reuses;
+  cursor_redescends += o.cursor_redescends;
+  batch_ops += o.batch_ops;
+  batch_keys += o.batch_keys;
   return *this;
 }
 
@@ -52,6 +56,10 @@ StepCounters StepCounters::operator-(const StepCounters& o) const {
   r.walk_fallbacks -= o.walk_fallbacks;
   r.trie_level_ops -= o.trie_level_ops;
   r.retired_nodes -= o.retired_nodes;
+  r.cursor_reuses -= o.cursor_reuses;
+  r.cursor_redescends -= o.cursor_redescends;
+  r.batch_ops -= o.batch_ops;
+  r.batch_keys -= o.batch_keys;
   return r;
 }
 

@@ -52,6 +52,15 @@ struct StepCounters {
                                  // discarded its start hint for the top head
   uint64_t trie_level_ops = 0;   // x-fast-trie per-level update iterations
   uint64_t retired_nodes = 0;    // nodes handed to reclamation
+  // Batched-operation attribution (schema v4, DESIGN.md §5.3).  Like the
+  // probe/hop attribution these count events, not shared-memory steps, and
+  // do NOT enter search_steps()/total_steps().
+  uint64_t cursor_reuses = 0;     // warm DescentCursor seeks served from a
+                                  // retained bracket (entered below the top)
+  uint64_t cursor_redescends = 0; // warm seeks whose brackets all failed and
+                                  // that re-ran the fingered/fallback entry
+  uint64_t batch_ops = 0;         // batch API calls issued (any size)
+  uint64_t batch_keys = 0;        // keys processed through the batch API
 
   StepCounters& operator+=(const StepCounters& o);
   StepCounters operator-(const StepCounters& o) const;

@@ -1,0 +1,131 @@
+// SkipTrie batched operations (DESIGN.md §3.7): sort, then stream the keys
+// through one DescentCursor.  Each key is processed under its own EBR pin
+// and linearizes exactly like its single-key counterpart; between keys the
+// cursor's retained nodes may be retired and recycled, which the reuse
+// screen (cursor.cpp) tolerates by construction.
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/batch.h"
+#include "core/skiptrie.h"
+#include "skiplist/cursor.h"
+
+namespace skiptrie {
+
+namespace batch_detail {
+
+std::vector<uint32_t> sorted_order(const uint64_t* keys, size_t n) {
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  // Stable: duplicate keys keep their input order, so "first occurrence
+  // wins" semantics hold for insert/erase result reporting.
+  std::stable_sort(order.begin(), order.end(),
+                   [keys](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
+  return order;
+}
+
+}  // namespace batch_detail
+
+size_t SkipTrie::insert_batch(const uint64_t* keys, size_t n,
+                              uint8_t* results) {
+  if (n == 0) return 0;
+  if (!cfg_.use_cursor_batching) {
+    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+      const bool hit = insert(k);
+      if (results != nullptr) results[i] = hit;
+      return hit;
+    });
+  }
+  DescentCursor& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    assert(k <= max_key());
+    EbrDomain::Guard g(ebr_);
+    const uint64_t x = ikey_of(k);
+    TrieStartEnv env{&trie_, k};
+    // cold_min_level = top: a batch keeps every retained row descent-fresh
+    // (never a bare level head), so later keys of any tower height can
+    // reuse brackets below their height (see cursor.h).
+    const SkipListEngine::InsertResult r = engine_.cursor_insert(
+        cur, x, tower_height(x), engine_.top_level(), &trie_start, &env);
+    const bool hit = finish_insert(k, r);
+    if (results != nullptr) results[i] = hit;
+    return hit;
+  });
+}
+
+size_t SkipTrie::erase_batch(const uint64_t* keys, size_t n,
+                             uint8_t* results) {
+  if (n == 0) return 0;
+  if (!cfg_.use_cursor_batching) {
+    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+      const bool hit = erase(k);
+      if (results != nullptr) results[i] = hit;
+      return hit;
+    });
+  }
+  DescentCursor& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    assert(k <= max_key());
+    EbrDomain::Guard g(ebr_);
+    const uint64_t x = ikey_of(k);
+    TrieStartEnv env{&trie_, k};
+    const SkipListEngine::EraseResult r =
+        engine_.cursor_erase(cur, x, &trie_start, &env);
+    const bool hit = finish_erase(k, r);
+    if (results != nullptr) results[i] = hit;
+    return hit;
+  });
+}
+
+size_t SkipTrie::contains_batch(const uint64_t* keys, size_t n,
+                                uint8_t* results) const {
+  if (n == 0) return 0;
+  if (!cfg_.use_cursor_batching) {
+    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+      const bool hit = contains(k);
+      if (results != nullptr) results[i] = hit;
+      return hit;
+    });
+  }
+  DescentCursor& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    assert(k <= max_key());
+    EbrDomain::Guard g(ebr_);
+    const uint64_t x = ikey_of(k);
+    TrieStartEnv env{&trie_, k};
+    const SkipListEngine::Bracket b =
+        engine_.cursor_descend(cur, x, &trie_start, &env);
+    const bool hit = b.right->ikey() == x;
+    if (results != nullptr) results[i] = hit;
+    return hit;
+  });
+}
+
+size_t SkipTrie::predecessor_batch(const uint64_t* keys, size_t n,
+                                   std::optional<uint64_t>* results) const {
+  if (n == 0) return 0;
+  if (!cfg_.use_cursor_batching) {
+    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+      const std::optional<uint64_t> p = predecessor(k);
+      if (results != nullptr) results[i] = p;
+      return p.has_value();
+    });
+  }
+  DescentCursor& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    assert(k <= max_key());
+    EbrDomain::Guard g(ebr_);
+    // Largest ikey <= ikey(k)  <=>  bracket left of x = ikey(k) + 1.
+    const uint64_t x = ikey_of(k) + 1;
+    TrieStartEnv env{&trie_, k};
+    const SkipListEngine::Bracket b =
+        engine_.cursor_descend(cur, x, &trie_start, &env);
+    std::optional<uint64_t> p;
+    if (b.left->kind() == NodeKind::kInterior) p = b.left->ikey() - 1;
+    if (results != nullptr) results[i] = p;
+    return p.has_value();
+  });
+}
+
+}  // namespace skiptrie

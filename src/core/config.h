@@ -29,6 +29,12 @@ struct Config {
   // takes the x-fast pred_start path unconditionally (ablation/diagnosis).
   bool use_finger = true;
 
+  // Batched operations stream sorted keys through one DescentCursor
+  // (DESIGN.md §3.7).  Off = the batch API degenerates to a per-key loop
+  // over the single-key operations (ablation/measurement; results are
+  // identical either way).
+  bool use_cursor_batching = true;
+
   // Slab granularity of the node arena.
   size_t arena_blocks_per_slab = 4096;
 };

@@ -7,40 +7,14 @@
 
 namespace skiptrie {
 
-namespace {
-
-// Per-thread tower-height RNG.  Threads derive distinct streams from the
-// structure seed and a per-thread nonce so concurrent inserters don't share
-// coin flips.
-// Lazy x-fast start for the engine's fingered entry points: only invoked
-// when the calling thread's finger has no usable bracket, so a finger hit
-// pays zero hash probes (DESIGN.md §3.6).
-struct TrieStartEnv {
-  XFastTrie* trie;
-  uint64_t key;
-};
-
-Node* trie_start(void* env, uint64_t x) {
+Node* SkipTrie::trie_start(void* env, uint64_t x) {
   auto* e = static_cast<TrieStartEnv*>(env);
   return e->trie->pred_start(e->key, x);
 }
 
-Xoshiro256& height_rng(uint64_t seed) {
-  thread_local uint64_t tl_nonce = 0;
-  thread_local Xoshiro256 rng = [] {
-    static std::atomic<uint64_t> counter{1};
-    tl_nonce = counter.fetch_add(1, std::memory_order_relaxed);
-    return Xoshiro256(tl_nonce);
-  }();
-  thread_local uint64_t seeded_for = 0;
-  if (seeded_for != seed + 1) {
-    seeded_for = seed + 1;
-    rng = Xoshiro256(mix64(seed ^ mix64(tl_nonce)));
-  }
-  return rng;
+uint32_t SkipTrie::tower_height(uint64_t x) const {
+  return deterministic_height(cfg_.seed, x, engine_.top_level());
 }
-
-}  // namespace
 
 SkipTrie::SkipTrie(const Config& cfg)
     : cfg_(cfg),
@@ -63,15 +37,8 @@ uint64_t SkipTrie::max_key() const {
   return cfg_.universe_bits >= 64 ? mask - 2 : mask;
 }
 
-bool SkipTrie::insert(uint64_t key) {
-  assert(key <= max_key());
-  EbrDomain::Guard g(ebr_);
-  const uint64_t x = ikey_of(key);
-  const uint32_t h =
-      height_rng(cfg_.seed).geometric_height(engine_.top_level());
-  TrieStartEnv env{&trie_, key};
-  const SkipListEngine::InsertResult r =
-      engine_.fingered_insert(x, h, &trie_start, &env);
+bool SkipTrie::finish_insert(uint64_t key,
+                             const SkipListEngine::InsertResult& r) {
   if (!r.inserted) return false;
   size_.fetch_add(1, std::memory_order_relaxed);
   if (r.top != nullptr) {
@@ -87,13 +54,8 @@ bool SkipTrie::insert(uint64_t key) {
   return true;
 }
 
-bool SkipTrie::erase(uint64_t key) {
-  assert(key <= max_key());
-  EbrDomain::Guard g(ebr_);
-  const uint64_t x = ikey_of(key);
-  TrieStartEnv env{&trie_, key};
-  SkipListEngine::EraseResult r =
-      engine_.fingered_erase(x, &trie_start, &env);
+bool SkipTrie::finish_erase(uint64_t key,
+                            const SkipListEngine::EraseResult& r) {
   if (!r.erased) return false;
   size_.fetch_sub(1, std::memory_order_relaxed);
   if (r.top != nullptr) {
@@ -103,6 +65,26 @@ bool SkipTrie::erase(uint64_t key) {
   }
   engine_.retire_owned(r);
   return true;
+}
+
+bool SkipTrie::insert(uint64_t key) {
+  assert(key <= max_key());
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key);
+  TrieStartEnv env{&trie_, key};
+  const SkipListEngine::InsertResult r =
+      engine_.fingered_insert(x, tower_height(x), &trie_start, &env);
+  return finish_insert(key, r);
+}
+
+bool SkipTrie::erase(uint64_t key) {
+  assert(key <= max_key());
+  EbrDomain::Guard g(ebr_);
+  const uint64_t x = ikey_of(key);
+  TrieStartEnv env{&trie_, key};
+  const SkipListEngine::EraseResult r =
+      engine_.fingered_erase(x, &trie_start, &env);
+  return finish_erase(key, r);
 }
 
 bool SkipTrie::contains(uint64_t key) const {

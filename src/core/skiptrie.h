@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/config.h"
 #include "reclaim/arena.h"
@@ -62,6 +63,44 @@ class SkipTrie {
 
   // Smallest key' > key.
   std::optional<uint64_t> successor(uint64_t key) const;
+
+  // --- Batched operations (DESIGN.md §3.7, src/core/batch.cpp) -----------
+  // Each call sorts the keys and streams them through one DescentCursor:
+  // one full descent for the first key, then every key enters at the lowest
+  // level where the cursor's bracket still holds — skipping the x-fast
+  // lowest_ancestor query and the upper-level walks entirely.  Results
+  // (when non-null; length n) land in *input* order; the return value is
+  // the number of true results (for predecessor_batch: keys that have a
+  // predecessor).  Each key linearizes individually, exactly like the
+  // single-key operation it shadows — a batch is a performance construct,
+  // not an atomic multi-key transaction.  Duplicates are processed in input
+  // order; with Config::use_cursor_batching off the calls degenerate to
+  // per-key loops (identical results, ablation).
+  size_t insert_batch(const uint64_t* keys, size_t n,
+                      uint8_t* results = nullptr);
+  size_t erase_batch(const uint64_t* keys, size_t n,
+                     uint8_t* results = nullptr);
+  size_t contains_batch(const uint64_t* keys, size_t n,
+                        uint8_t* results = nullptr) const;
+  size_t predecessor_batch(const uint64_t* keys, size_t n,
+                           std::optional<uint64_t>* results = nullptr) const;
+
+  size_t insert_batch(const std::vector<uint64_t>& keys,
+                      uint8_t* results = nullptr) {
+    return insert_batch(keys.data(), keys.size(), results);
+  }
+  size_t erase_batch(const std::vector<uint64_t>& keys,
+                     uint8_t* results = nullptr) {
+    return erase_batch(keys.data(), keys.size(), results);
+  }
+  size_t contains_batch(const std::vector<uint64_t>& keys,
+                        uint8_t* results = nullptr) const {
+    return contains_batch(keys.data(), keys.size(), results);
+  }
+  size_t predecessor_batch(const std::vector<uint64_t>& keys,
+                           std::optional<uint64_t>* results = nullptr) const {
+    return predecessor_batch(keys.data(), keys.size(), results);
+  }
 
   // Smallest / largest key currently present.
   std::optional<uint64_t> min_key() const;
@@ -130,11 +169,30 @@ class SkipTrie {
 
  private:
   uint64_t ikey_of(uint64_t key) const { return key + 1; }
+  // Seed-stable tower height for ikey x (DESIGN.md §3.7): derived from
+  // (cfg_.seed, x) alone, so step counts are cell-comparable across runs
+  // regardless of thread start order.
+  uint32_t tower_height(uint64_t x) const;
   // The one fingered descent seam every read-path operation goes through
   // (DESIGN.md §3.6): a finger hit starts below the top and skips
   // lowest_ancestor entirely; a miss runs the x-fast pred_start and the
   // descent seeds the finger from it.  Must be called with ebr_ pinned.
   SkipListEngine::Bracket locate(uint64_t key, uint64_t x) const;
+
+  // Lazy x-fast start for the engine's cursor entry points: only invoked
+  // when neither the cursor nor the finger has a usable bracket, so those
+  // paths pay zero hash probes (DESIGN.md §3.6–§3.7).
+  struct TrieStartEnv {
+    XFastTrie* trie;
+    uint64_t key;
+  };
+  static Node* trie_start(void* env, uint64_t x);
+
+  // Post-descent bodies shared by the single-key and batched write paths:
+  // size accounting plus the Alg. 6/7 trie sweeps (including the
+  // CAS-fallback undone_top sweep, DESIGN.md §3.5(5)).
+  bool finish_insert(uint64_t key, const SkipListEngine::InsertResult& r);
+  bool finish_erase(uint64_t key, const SkipListEngine::EraseResult& r);
 
   Config cfg_;
   // Destruction order (reverse of declaration) matters: ebr_ must drain its

@@ -1,0 +1,116 @@
+// Resumable descent position over a SkipListEngine (DESIGN.md §3.7).
+//
+// A DescentCursor owns the per-level bracket state that a descent produces —
+// for every level, the left node it passed through plus the ikeys that
+// bracketed the target — and can be *reseeked* to a new key: when the new
+// key still falls inside a retained bracket, the descent enters at the
+// lowest such level, skipping the operation's fallback start (for the
+// SkipTrie, the whole x-fast `lowest_ancestor` query) and every level above
+// the entry.  Sorted key streams (the batch API, src/core/batch.h) therefore
+// pay one full descent for the first key and O(1 + log distance) levels per
+// key after it; a cold cursor degenerates to exactly the PR 4 fingered entry
+// protocol, which is how the single-key operations route through this same
+// seam (they construct a fresh cursor per call).
+//
+// Safety is the finger story (DESIGN.md §3.6) verbatim: retained nodes may
+// be retired, poisoned and recycled between seeks (the batch loop re-pins
+// EBR per key), so every reuse candidate is screened by identity
+// (kind/level/ikey), unmarkedness, and bracket containment before it is
+// trusted — and even then it is only a start *hint* that `list_search`
+// re-validates.  A stale cursor costs steps, never answers.
+//
+// A DescentCursor is single-threaded state, like a stack variable: it must
+// not be shared between threads, and it holds no resources (no pin, no
+// allocation), so abandoning one at any time is free.  The batch API uses
+// the calling thread's persistent cursor (`tls_cursor`, keyed by the same
+// never-reused engine owner id as the finger registry), so consecutive
+// batches skip the cold first descent too; rows retained across calls are
+// as stale as any finger entry and pass through the same screens.
+#pragma once
+
+#include <cstdint>
+
+#include "skiplist/engine.h"
+
+namespace skiptrie {
+
+class DescentCursor {
+ public:
+  using Bracket = SkipListEngine::Bracket;
+  using StartFn = SkipListEngine::StartFn;
+
+  explicit DescentCursor(SkipListEngine& engine) : eng_(&engine) {}
+
+  DescentCursor(const DescentCursor&) = delete;
+  DescentCursor& operator=(const DescentCursor&) = delete;
+
+  // Re-seat this cursor onto another engine (the tls registry recycles
+  // slots round-robin, like tls_finger); drops every retained bracket.
+  void rebind(SkipListEngine& engine) {
+    eng_ = &engine;
+    warm_ = false;
+    rows_real_ = false;
+  }
+
+  // Position the cursor at x, returning the level-0 bracket
+  // (left.ikey < x <= right.ikey).  A warm cursor first tries to reuse a
+  // retained bracket (counted in steps.cursor_reuses; a warm seek whose
+  // brackets all fail counts in steps.cursor_redescends); a cold cursor —
+  // or a failed reuse — runs the fingered entry protocol: consult the
+  // calling thread's SearchFinger at `cold_min_level`, else `fallback`.
+  // Write streams pass cold_min_level = top so that every retained row is
+  // descent-fresh or a prior row, never a bare level head (their raise and
+  // tower-sweep phases consume hints at every level; see cursor.cpp).
+  Bracket seek(uint64_t x, uint32_t cold_min_level, StartFn fallback,
+               void* env);
+
+  // Per-level left hints of the last seek (size engine.top_level()+1),
+  // in the exact shape insert_from/erase_from consume (and mutate).
+  Node** hints() { return left_; }
+
+  bool warm() const { return warm_; }
+  // Drop every retained bracket; the next seek takes the cold path.
+  void invalidate() {
+    warm_ = false;
+    rows_real_ = false;
+  }
+
+  // Fold a just-completed insert of x (tower height `height`) into the
+  // retained brackets: the new tower becomes the level-0 left anchor and
+  // the raise-refreshed hints get matching ikeys, so the next ascending
+  // key enters beside the key just inserted.
+  void note_insert(const SkipListEngine::InsertResult& r, uint64_t x,
+                   uint32_t height);
+  // Fold a just-completed erase of x into the retained brackets (the tower
+  // sweep moved the hints; re-stamp their ikeys so the reuse screen and the
+  // identity validation agree on what was recorded).
+  void note_erase(uint64_t x);
+
+ private:
+  friend class SkipListEngine;
+
+  // Short-jump screen for entering a redescent at the retained top row
+  // rather than the fallback (see kTopEntryMaxGaps in cursor.cpp).
+  bool top_entry_usable(uint64_t x) const;
+
+  SkipListEngine* eng_;
+  bool warm_ = false;
+  // True once some descent entered at the top, i.e. every row holds a real
+  // bracket rather than the bare level heads a cold partial descent leaves
+  // above its entry.  Until then warm entries are gated at the caller's
+  // cold_min_level so write paths never consume bare-head hints.
+  bool rows_real_ = false;
+  // Rows 0..engine.top_level().  A row not yet traversed by any seek holds
+  // (head, 0, 0): a valid search start, but right_ikey_ = 0 can never
+  // contain a target (ikeys are >= 1), so it is never "reused".
+  Node* left_[SkipListEngine::kMaxLevels + 1];
+  uint64_t left_ikey_[SkipListEngine::kMaxLevels + 1];
+  uint64_t right_ikey_[SkipListEngine::kMaxLevels + 1];
+};
+
+// The calling thread's persistent cursor for the engine identified by
+// `owner` (the finger registry's owner ids; see SkipListEngine::cursor()).
+// A small per-thread cache; an evicted binding is simply a cold cursor.
+DescentCursor& tls_cursor(uint64_t owner, SkipListEngine& engine);
+
+}  // namespace skiptrie

@@ -1,10 +1,12 @@
 #include "skiplist/engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <new>
 
 #include "common/backoff.h"
 #include "common/stats.h"
+#include "skiplist/cursor.h"
 
 namespace skiptrie {
 
@@ -39,6 +41,8 @@ SkipListEngine::SkipListEngine(DcssContext ctx, SlabArena& arena,
 }
 
 SkipListEngine::~SkipListEngine() = default;  // arena owns all node storage
+
+DescentCursor& SkipListEngine::cursor() { return tls_cursor(finger_owner_, *this); }
 
 Node* SkipListEngine::make_node(uint64_t ikey, uint32_t level,
                                 uint32_t orig_height, Node* down, Node* root) {
@@ -145,10 +149,8 @@ SkipListEngine::Bracket SkipListEngine::descend_from(uint64_t x, Node* cur,
                                                      uint32_t lvl,
                                                      Node** hints,
                                                      SearchFinger* f,
-                                                     uint64_t epoch) {
-  if (hints != nullptr) {
-    for (uint32_t l = 0; l <= top_; ++l) hints[l] = head_[l];
-  }
+                                                     uint64_t epoch,
+                                                     DescentCursor* rec) {
   // Record only the kRecordDepth levels just below the entry level (the
   // frequency cascade, DESIGN.md §3.6): a target must hit at level l before
   // its descent may populate rows l-1, l-2.  Recording every traversed
@@ -167,6 +169,13 @@ SkipListEngine::Bracket SkipListEngine::descend_from(uint64_t x, Node* cur,
   for (;;) {
     Bracket b = list_search(x, cur, lvl);
     if (hints != nullptr) hints[lvl] = b.left;
+    if (rec != nullptr) {
+      // Cursor rows re-read the ikeys like the finger record below: a
+      // recycled node yields values its own reuse validation re-checks.
+      rec->left_[lvl] = b.left;
+      rec->left_ikey_[lvl] = b.left->ikey();
+      rec->right_ikey_[lvl] = b.right->ikey();
+    }
     if (f != nullptr && lvl >= record_floor && lvl <= f->max_level()) {
       // Seed/refresh the finger with the bracket this level just observed.
       // The ikeys are re-read here: if either node was recycled since
@@ -184,9 +193,42 @@ SkipListEngine::Bracket SkipListEngine::descend_from(uint64_t x, Node* cur,
 
 SkipListEngine::Bracket SkipListEngine::descend(uint64_t x, Node* start,
                                                 Node** hints) {
+  if (hints != nullptr) {
+    for (uint32_t l = 0; l <= top_; ++l) hints[l] = head_[l];
+  }
   Node* cur = start;
   const uint32_t lvl = resolve_start(x, cur);
   return descend_from(x, cur, lvl, hints, nullptr, 0);
+}
+
+SkipListEngine::Bracket SkipListEngine::cursor_descend(DescentCursor& cur,
+                                                       uint64_t x,
+                                                       StartFn fallback,
+                                                       void* env) {
+  return cur.seek(x, /*cold_min_level=*/0, fallback, env);
+}
+
+SkipListEngine::InsertResult SkipListEngine::cursor_insert(
+    DescentCursor& cur, uint64_t x, uint32_t height, uint32_t cold_min_level,
+    StartFn fallback, void* env) {
+  assert(cold_min_level >= height);
+  Bracket b = cur.seek(x, cold_min_level, fallback, env);
+  InsertResult r = insert_from(x, height, cur.hints(), b);
+  cur.note_insert(r, x, height);
+  return r;
+}
+
+SkipListEngine::EraseResult SkipListEngine::cursor_erase(DescentCursor& cur,
+                                                         uint64_t x,
+                                                         StartFn fallback,
+                                                         void* env) {
+  // cold_min_level = top_: the top-down tower sweep consumes hints at every
+  // level, so a cold entry below the top (which would leave bare level-head
+  // rows above it) is never usable.
+  Bracket b0 = cur.seek(x, top_, fallback, env);
+  EraseResult r = erase_from(x, cur.hints(), b0);
+  cur.note_erase(x);
+  return r;
 }
 
 SkipListEngine::Bracket SkipListEngine::fingered_descend(uint64_t x,
@@ -194,24 +236,12 @@ SkipListEngine::Bracket SkipListEngine::fingered_descend(uint64_t x,
                                                          StartFn fallback,
                                                          void* env,
                                                          Node** hints) {
-  if (!finger_on_) {
-    Node* start = fallback != nullptr ? fallback(env, x) : head_[top_];
-    return descend(x, start, hints);
+  DescentCursor cur(*this);
+  const Bracket b = cur.seek(x, min_level, fallback, env);
+  if (hints != nullptr) {
+    std::copy(cur.hints(), cur.hints() + top_ + 1, hints);
   }
-  auto& c = tls_counters();
-  SearchFinger& f = finger();
-  const uint64_t now = ctx_.ebr->global_epoch();
-  Node* start = nullptr;
-  const int hit = f.try_start(x, min_level, now, &start);
-  if (hit >= 0) {
-    c.finger_hits++;
-    c.hops_finger_saved += top_ - static_cast<uint32_t>(hit);
-    return descend_from(x, start, static_cast<uint32_t>(hit), hints, &f, now);
-  }
-  c.finger_misses++;
-  start = fallback != nullptr ? fallback(env, x) : head_[top_];
-  const uint32_t lvl = resolve_start(x, start);
-  return descend_from(x, start, lvl, hints, &f, now);
+  return b;
 }
 
 bool SkipListEngine::mark_node(Node* n, Node* back_hint) {
@@ -376,12 +406,11 @@ SkipListEngine::InsertResult SkipListEngine::fingered_insert(uint64_t x,
                                                              uint32_t height,
                                                              StartFn fallback,
                                                              void* env) {
-  // min_level = height: the raise path consumes hints[1..height], so a
+  // cold_min_level = height: the raise path consumes hints[1..height], so a
   // finger entry below the drawn tower height would leave the raise
   // searching whole levels from their heads.
-  Node* hints[kMaxLevels + 1];
-  Bracket b = fingered_descend(x, height, fallback, env, hints);
-  return insert_from(x, height, hints, b);
+  DescentCursor cur(*this);
+  return cursor_insert(cur, x, height, height, fallback, env);
 }
 
 SkipListEngine::InsertResult SkipListEngine::insert_from(uint64_t x,
@@ -466,13 +495,8 @@ SkipListEngine::EraseResult SkipListEngine::erase(uint64_t x, Node* start) {
 SkipListEngine::EraseResult SkipListEngine::fingered_erase(uint64_t x,
                                                            StartFn fallback,
                                                            void* env) {
-  // min_level = top_: the top-down tower sweep consumes hints at every
-  // level, so only a top-level finger hit (which skips the fallback — for
-  // the SkipTrie, the whole lowest_ancestor query — but still descends
-  // through every level) is usable.
-  Node* hints[kMaxLevels + 1];
-  const Bracket b0 = fingered_descend(x, top_, fallback, env, hints);
-  return erase_from(x, hints, b0);
+  DescentCursor cur(*this);
+  return cursor_erase(cur, x, fallback, env);
 }
 
 SkipListEngine::EraseResult SkipListEngine::erase_from(uint64_t x,

@@ -27,6 +27,8 @@
 
 namespace skiptrie {
 
+class DescentCursor;
+
 class SkipListEngine {
  public:
   static constexpr uint32_t kMaxLevels = 40;  // supports the log-m baseline
@@ -91,22 +93,37 @@ class SkipListEngine {
   // stop word, then removes the tower top-down (paper Alg. 2 / §2).
   EraseResult erase(uint64_t x, Node* start);
 
-  // --- Fingered entry points (DESIGN.md §3.6) -----------------------------
+  // --- Cursor entry points (DESIGN.md §3.6–§3.7) --------------------------
   // The one descent seam every public SkipTrie and baseline operation goes
-  // through.  The calling thread's SearchFinger is consulted first: a hit
-  // at level l >= min_level starts the descent there, skipping levels
-  // l+1..top *and* the fallback entirely (for the SkipTrie that fallback is
-  // the x-fast trie's pred_start — hash probes and the top-level walk).  On
-  // a miss, `fallback(env, x)` lazily supplies the start node (nullptr
-  // fallback means the top-level head), and the descent that follows seeds
-  // the finger with every bracket it traverses.
+  // through, built on DescentCursor (skiplist/cursor.h): a resumable
+  // per-level bracket position.  A warm cursor whose retained bracket still
+  // contains x enters the descent at the lowest such level; otherwise the
+  // calling thread's SearchFinger is consulted: a hit at level
+  // l >= min_level starts the descent there, skipping levels l+1..top *and*
+  // the fallback entirely (for the SkipTrie that fallback is the x-fast
+  // trie's pred_start — hash probes and the top-level walk).  On a miss,
+  // `fallback(env, x)` lazily supplies the start node (nullptr fallback
+  // means the top-level head), and the descent that follows seeds the
+  // finger with every bracket it traverses.
   //
-  // min_level bounds how low a finger hit may enter: reads pass 0, insert
-  // passes its drawn tower height (the raise path needs descent-fresh hints
-  // at every level it touches), erase passes top_level() (its top-down
-  // tower sweep needs hints at every level).
+  // min_level bounds how low a finger hit may enter on the cold path: reads
+  // pass 0, single-key insert passes its drawn tower height (the raise path
+  // needs descent-fresh hints at every level it touches), erase and the
+  // batched write streams pass top_level() (the tower sweep consumes hints
+  // at every level, and a batch must keep every retained row a real bracket
+  // rather than a bare level head — see cursor.h).
   using StartFn = Node* (*)(void* env, uint64_t x);
 
+  Bracket cursor_descend(DescentCursor& cur, uint64_t x, StartFn fallback,
+                         void* env);
+  InsertResult cursor_insert(DescentCursor& cur, uint64_t x, uint32_t height,
+                             uint32_t cold_min_level, StartFn fallback,
+                             void* env);
+  EraseResult cursor_erase(DescentCursor& cur, uint64_t x, StartFn fallback,
+                           void* env);
+
+  // Single-key entry points: the batch_size = 1 degenerate case — each call
+  // runs one cold DescentCursor through the seam above.
   Bracket fingered_descend(uint64_t x, uint32_t min_level, StartFn fallback,
                            void* env, Node** hints = nullptr);
   InsertResult fingered_insert(uint64_t x, uint32_t height, StartFn fallback,
@@ -115,6 +132,10 @@ class SkipListEngine {
 
   // The calling thread's finger for this engine (distinct per thread).
   SearchFinger& finger() const { return tls_finger(finger_owner_, top_); }
+  // The calling thread's persistent DescentCursor for this engine (same
+  // owner-id keying; defined in engine.cpp).  Used by the batch API so
+  // consecutive batches resume where the last one left off.
+  DescentCursor& cursor();
   // Ablation/diagnostic switch: when off, the fingered entry points behave
   // exactly like their unfingered counterparts (no lookups, no recording,
   // no finger counters).  Not thread-safe against concurrent operations.
@@ -151,6 +172,8 @@ class SkipListEngine {
                   Node* down, Node* root);
 
  private:
+  friend class DescentCursor;
+
   enum class RaiseStatus {
     kOk,                   // linked at this level
     kStoppedUnpublished,   // not linked (or undone and already retired)
@@ -162,10 +185,14 @@ class SkipListEngine {
   // Validate `cur` as a descent start; falls back to the top-level head
   // (counting a restart).  Returns the level the descent begins at.
   uint32_t resolve_start(uint64_t x, Node*& cur);
-  // Core descent loop from (cur, lvl): fills hints and, when f != nullptr,
-  // records every traversed bracket into the finger stamped with `epoch`.
+  // Core descent loop from (cur, lvl): fills hints[l] for every traversed
+  // level (callers pre-fill untraversed levels), records every traversed
+  // bracket into the finger (when f != nullptr, stamped with `epoch`) and
+  // into the cursor's rows (when rec != nullptr; hints is then rec's own
+  // left array).
   Bracket descend_from(uint64_t x, Node* cur, uint32_t lvl, Node** hints,
-                       SearchFinger* f, uint64_t epoch);
+                       SearchFinger* f, uint64_t epoch,
+                       DescentCursor* rec = nullptr);
   // Post-descent bodies shared by the plain and fingered entry points.
   InsertResult insert_from(uint64_t x, uint32_t height, Node** hints,
                            Bracket b);

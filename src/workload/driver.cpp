@@ -75,6 +75,17 @@ std::string WorkloadResult::summary() const {
               static_cast<double>(fingered)
        << "%) saved-levels " << steps.hops_finger_saved;
   }
+  if (steps.batch_ops > 0) {
+    const uint64_t warm = steps.cursor_reuses + steps.cursor_redescends;
+    os << "; batch " << steps.batch_keys << " keys/" << steps.batch_ops
+       << " calls, cursor " << steps.cursor_reuses << "/" << warm
+       << " reuses";
+    if (warm > 0) {
+      os << " (" << 100.0 * static_cast<double>(steps.cursor_reuses) /
+                       static_cast<double>(warm)
+         << "%)";
+    }
+  }
   return os.str();
 }
 

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <concepts>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -33,6 +34,10 @@ struct OpMix {
   static OpMix read_heavy() { return OpMix{0.05, 0.05, 0.60}; }
   static OpMix write_heavy() { return OpMix{0.40, 0.40, 0.10}; }
   static OpMix balanced() { return OpMix{0.25, 0.25, 0.25}; }
+  // Single-op-type mixes for the batched sections: the bulk-load /
+  // multi-get shapes where amortizing one descent is the whole point.
+  static OpMix insert_only() { return OpMix{1.0, 0, 0}; }
+  static OpMix lookup_only() { return OpMix{0, 0, 0}; }  // all contains()
 };
 
 // The four operation kinds a workload issues, in dispatch order.
@@ -57,6 +62,20 @@ struct WorkloadConfig {
   // Sample the wall-clock latency of every Nth operation per thread
   // (steady_clock around the call).  0 disables sampling.
   uint32_t latency_sample_every = 64;
+  // Keys per dispatch window of the batch API (DESIGN.md §3.7).  1 = the
+  // classic per-key loop.  > 1 draws (op type, key) per key exactly as the
+  // per-key loop would — so every key receives the same operation at every
+  // batch size — then partitions the window by op type and issues one
+  // *_batch call per type present.  Cells at different batch sizes
+  // therefore run the identical (key, op) multiset per window; what
+  // batching necessarily changes is the *order within a window* (types
+  // flush grouped, so e.g. an erase drawn before an insert of the same key
+  // can execute after it) — inherent to grouping, bounded by batch_size,
+  // and part of what a batched-system comparison measures.  Sets without
+  // a batch API fall back to the per-key loop.  Batched latency samples
+  // record each sub-batch's wall time divided by its key count (amortized
+  // per-key latency).
+  uint32_t batch_size = 1;
 };
 
 // Per-operation-type tallies: counts, hits, attributed search steps, and the
@@ -119,9 +138,23 @@ namespace detail {
 double percentile_ns(std::vector<uint64_t> samples, double q);
 }  // namespace detail
 
+// Detects the batch API of DESIGN.md §3.7 (SkipTrie and the lock-free
+// skiplist baseline implement it; the locked map does not and runs batched
+// configs through the per-key loop).
+template <typename Set>
+concept HasBatchApi = requires(Set& s, const Set& cs, const uint64_t* k,
+                               size_t n, uint8_t* r,
+                               std::optional<uint64_t>* p) {
+  { s.insert_batch(k, n, r) } -> std::convertible_to<size_t>;
+  { s.erase_batch(k, n, r) } -> std::convertible_to<size_t>;
+  { cs.contains_batch(k, n, r) } -> std::convertible_to<size_t>;
+  { cs.predecessor_batch(k, n, p) } -> std::convertible_to<size_t>;
+};
+
 // Runs cfg against `set`.  Set must provide bool insert(uint64_t),
 // bool erase(uint64_t), bool contains(uint64_t) const and
-// std::optional<uint64_t> predecessor(uint64_t) const.
+// std::optional<uint64_t> predecessor(uint64_t) const; the batch API is
+// used when cfg.batch_size > 1 and the set provides it.
 template <typename Set>
 WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
   // Cluster centers must agree across the prefill stream and every worker
@@ -164,23 +197,83 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
       WorkloadResult local;
       StepCounters& tls = tls_counters();
       const uint32_t sample_every = cfg.latency_sample_every;
+      bool use_batch = false;
+      std::vector<uint64_t> kbuf[kOpTypeCount];
+      if constexpr (HasBatchApi<Set>) {
+        use_batch = cfg.batch_size > 1;
+        if (use_batch) {
+          for (auto& b : kbuf) b.reserve(cfg.batch_size);
+        }
+      }
+      const auto draw_type = [&cfg, &op_rng]() {
+        const double r = op_rng.next_double();
+        if (r < cfg.mix.insert) return OpType::kInsert;
+        if (r < cfg.mix.insert + cfg.mix.erase) return OpType::kErase;
+        if (r < cfg.mix.insert + cfg.mix.erase + cfg.mix.predecessor) {
+          return OpType::kPredecessor;
+        }
+        return OpType::kLookup;
+      };
       barrier.arrive_and_wait();  // start together
       const Clock::time_point my_start = Clock::now();
       const StepCounters before = tls;
-      for (uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
-        const double r = op_rng.next_double();
-        const uint64_t key = gen.next();
-        OpType ot;
-        if (r < cfg.mix.insert) {
-          ot = OpType::kInsert;
-        } else if (r < cfg.mix.insert + cfg.mix.erase) {
-          ot = OpType::kErase;
-        } else if (r < cfg.mix.insert + cfg.mix.erase + cfg.mix.predecessor) {
-          ot = OpType::kPredecessor;
-        } else {
-          ot = OpType::kLookup;
+      for (uint64_t i = 0; i < cfg.ops_per_thread;) {
+        if constexpr (HasBatchApi<Set>) {
+          if (use_batch) {
+            // Draw (op, key) per key exactly as the per-key loop below
+            // would (same streams, same draw cadence), then partition the
+            // window by op type and flush one batch call per type: the
+            // cell runs the identical (key, op) multiset per window at
+            // every batch size; only the grouping — and the intra-window
+            // ordering grouping implies — differs (see batch_size above).
+            const uint64_t n =
+                std::min<uint64_t>(cfg.batch_size, cfg.ops_per_thread - i);
+            for (auto& b : kbuf) b.clear();
+            for (uint64_t j = 0; j < n; ++j) {
+              kbuf[static_cast<size_t>(draw_type())].push_back(gen.next());
+            }
+            const bool sampled = sample_every != 0 && (i % sample_every) < n;
+            for (size_t k = 0; k < kOpTypeCount; ++k) {
+              const std::vector<uint64_t>& b = kbuf[k];
+              if (b.empty()) continue;
+              OpTypeStats& ts = local.by_type[k];
+              const uint64_t steps0 = tls.search_steps();
+              std::chrono::steady_clock::time_point bt0;
+              if (sampled) bt0 = std::chrono::steady_clock::now();
+              size_t hits = 0;
+              switch (static_cast<OpType>(k)) {
+                case OpType::kInsert:
+                  hits = set.insert_batch(b.data(), b.size());
+                  break;
+                case OpType::kErase:
+                  hits = set.erase_batch(b.data(), b.size());
+                  break;
+                case OpType::kPredecessor:
+                  hits = set.predecessor_batch(b.data(), b.size());
+                  break;
+                case OpType::kLookup:
+                  hits = set.contains_batch(b.data(), b.size());
+                  break;
+              }
+              if (sampled) {
+                const auto bt1 = std::chrono::steady_clock::now();
+                ts.latency_ns.push_back(static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        bt1 - bt0)
+                        .count() /
+                    b.size()));
+              }
+              ts.ops += b.size();
+              ts.hits += hits;
+              ts.search_steps += tls.search_steps() - steps0;
+            }
+            i += n;
+            continue;
+          }
         }
+        const OpType ot = draw_type();
         OpTypeStats& ts = local.by_type[static_cast<size_t>(ot)];
+        const uint64_t key = gen.next();
         const bool sampled = sample_every != 0 && i % sample_every == 0;
         const uint64_t steps0 = tls.search_steps();
         std::chrono::steady_clock::time_point op_t0;
@@ -204,6 +297,7 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
         ts.ops++;
         ts.hits += hit ? 1 : 0;
         ts.search_steps += tls.search_steps() - steps0;
+        ++i;
       }
       local.steps = tls - before;
       const Clock::time_point my_end = Clock::now();

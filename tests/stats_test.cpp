@@ -27,6 +27,12 @@ TEST(Stats, AccumulateAndSubtract) {
   b.finger_hits = 2;
   b.finger_misses = 3;
   b.hops_finger_saved = 9;
+  a.cursor_reuses = 6;
+  a.batch_keys = 32;
+  b.cursor_reuses = 4;
+  b.cursor_redescends = 2;
+  b.batch_ops = 1;
+  b.batch_keys = 8;
 
   StepCounters sum = a;
   sum += b;
@@ -42,6 +48,10 @@ TEST(Stats, AccumulateAndSubtract) {
   EXPECT_EQ(sum.finger_hits, 9u);
   EXPECT_EQ(sum.finger_misses, 3u);
   EXPECT_EQ(sum.hops_finger_saved, 9u);
+  EXPECT_EQ(sum.cursor_reuses, 10u);
+  EXPECT_EQ(sum.cursor_redescends, 2u);
+  EXPECT_EQ(sum.batch_ops, 1u);
+  EXPECT_EQ(sum.batch_keys, 40u);
 
   const StepCounters diff = sum - b;
   EXPECT_EQ(diff.node_hops, a.node_hops);
@@ -55,6 +65,10 @@ TEST(Stats, AccumulateAndSubtract) {
   EXPECT_EQ(diff.finger_hits, a.finger_hits);
   EXPECT_EQ(diff.finger_misses, 0u);
   EXPECT_EQ(diff.hops_finger_saved, 0u);
+  EXPECT_EQ(diff.cursor_reuses, a.cursor_reuses);
+  EXPECT_EQ(diff.cursor_redescends, 0u);
+  EXPECT_EQ(diff.batch_ops, 0u);
+  EXPECT_EQ(diff.batch_keys, a.batch_keys);
 }
 
 TEST(Stats, SearchStepsDefinition) {

@@ -2,8 +2,9 @@
 """Diff two BENCH_suite.json files on step counts and probe counters.
 
 Joins the "cells" arrays on (section, structure, universe_bits, threads,
-mix, dist, repeat) — the stable key documented in README "Benchmarks" —
-and reports, per matched cell, the relative change in:
+mix, dist, batch_size, repeat) — the stable key documented in README
+"Benchmarks"; batch_size defaults to 1 for files that predate it — and
+reports, per matched cell, the relative change in:
 
   - steps_per_op.search and steps_per_op.total
   - per-op rates of the probe counters (hash_probes, probes_lookup,
@@ -19,7 +20,7 @@ Designed to run as a non-fatal CI report step:
 
     tools/compare_bench.py BENCH_suite.json build/BENCH_suite_quick.json
 
-Schema: accepts v1, v2 and v3 files; counters missing from an older file
+Schema: accepts v1 through v4 files; counters missing from an older file
 are skipped (reported as "new"), never treated as zero.
 """
 
@@ -28,14 +29,25 @@ import json
 import sys
 
 JOIN_KEY = ("section", "structure", "universe_bits", "threads", "mix",
-            "dist", "repeat")
+            "dist", "batch_size", "repeat")
+
+# Per-key defaults applied when a file predates an axis, so older suites
+# still join cleanly (batch_size was introduced in schema v4; every earlier
+# cell was implicitly unbatched).
+JOIN_DEFAULTS = {"batch_size": 1}
 
 # Note: the finger counters (finger_hits/misses, hops_finger_saved) are
 # intentionally absent — a hit-rate shift is not by itself a regression;
 # its cost shows up in node_hops / hops_top / hops_descent, which are.
+# Of the schema-v4 cursor counters, cursor_redescends is compared (within a
+# joined cell the batching axis is fixed, so more redescends on the same
+# stream means retained brackets stopped serving — a silent constant
+# regression); cursor_reuses is its complement and "more is better", which
+# this worse-when-higher comparator cannot express, so it stays report-only.
 RATE_COUNTERS = ("hash_probes", "probes_lookup", "probes_chain",
                  "probes_binsearch", "node_hops", "hops_top",
-                 "hops_descent", "walk_fallbacks", "restarts")
+                 "hops_descent", "walk_fallbacks", "restarts",
+                 "cursor_redescends")
 
 
 def load_cells(path):
@@ -43,7 +55,7 @@ def load_cells(path):
         doc = json.load(f)
     cells = {}
     for cell in doc.get("cells", []):
-        key = tuple(cell.get(k) for k in JOIN_KEY)
+        key = tuple(cell.get(k, JOIN_DEFAULTS.get(k)) for k in JOIN_KEY)
         cells[key] = cell
     return doc, cells
 

@@ -3,7 +3,10 @@
 //   skiptrie_cli [--bits B] [--threads N] [--ops N] [--prefill N]
 //                [--space N] [--mix read|read-heavy|balanced|write-heavy]
 //                [--dist uniform|zipf|clustered|sequential]
-//                [--mode dcss|cas] [--seed S] [--validate]
+//                [--mode dcss|cas] [--seed S] [--batch N] [--validate]
+//
+// --batch N > 1 routes every operation through the batched API (DESIGN.md
+// §3.7): each drawn op type issues N keys through one DescentCursor.
 //
 // Prints the workload summary (throughput + the paper's step counters) and,
 // with --validate, runs the structural invariant checker afterwards.
@@ -25,7 +28,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--bits B] [--threads N] [--ops N] [--prefill N]\n"
                "          [--space N] [--mix M] [--dist D] [--mode dcss|cas]\n"
-               "          [--seed S] [--validate]\n",
+               "          [--seed S] [--batch N] [--validate]\n",
                argv0);
   std::exit(2);
 }
@@ -69,6 +72,8 @@ int main(int argc, char** argv) {
       wc.key_space = parse_u64(next(), "--space");
     } else if (a == "--seed") {
       wc.seed = parse_u64(next(), "--seed");
+    } else if (a == "--batch") {
+      wc.batch_size = static_cast<uint32_t>(parse_u64(next(), "--batch"));
     } else if (a == "--mix") {
       const std::string m = next();
       if (m == "read") wc.mix = OpMix::read_only();
@@ -100,10 +105,10 @@ int main(int argc, char** argv) {
 
   SkipTrie t(cfg);
   const WorkloadResult r = run_workload(t, wc);
-  std::printf("B=%u threads=%u mode=%s dist=%s\n", cfg.universe_bits,
-              wc.threads,
+  std::printf("B=%u threads=%u mode=%s dist=%s batch=%u\n",
+              cfg.universe_bits, wc.threads,
               cfg.dcss_mode == DcssMode::kDcss ? "dcss" : "cas",
-              key_dist_name(wc.dist));
+              key_dist_name(wc.dist), wc.batch_size);
   std::printf("%s\n", r.summary().c_str());
   std::printf("final size=%zu trie_entries=%zu\n", t.size(),
               t.trie().entry_count());

@@ -22,6 +22,18 @@
 //                     the intra-window reordering grouping implies; see
 //                     WorkloadConfig::batch_size) — the amortization read
 //                     is hops+probes per key at batch_size = n vs 1.
+//   service           the queued Service front-end (DESIGN.md §4.3) under
+//                     the client simulator (hot-tenant zipf, bursty
+//                     arrivals): --shards x client counts; steps merge the
+//                     submit-side queue attribution with the worker-side
+//                     engine counters.  The clients=1/shards=1 cell is
+//                     deterministic in step counts (one FIFO worker) and
+//                     sits inside the CI fatal gate; everything wider is
+//                     report-only.
+//
+// Passing `sharded` in --structures runs the ShardedEngine through the
+// plain workload driver in the grid (shards swept from --shards) — the
+// apples-to-apples read of routing overhead vs the flat skiptrie.
 //
 // `--quick` shrinks every axis so the suite finishes in seconds; it is
 // registered in ctest so the subsystem cannot bit-rot.
@@ -31,6 +43,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "service/service.h"
+#include "workload/client_sim.h"
 
 using namespace skiptrie;
 using namespace skiptrie::bench;
@@ -67,6 +81,16 @@ uint64_t cell_seed(uint32_t bits, uint32_t threads, size_t mix_idx,
                (structure_idx + 1) * 11ull + repeat + 1);
 }
 
+// Canonical structure id for seeding, independent of --structures order —
+// and shared between "skiptrie" and "sharded" on purpose: matched cells
+// then run the identical workload, so the sharded-vs-flat delta (zero at
+// shards=1, pinned by tests/shard_test.cpp) is pure routing cost.
+size_t structure_seed_idx(const std::string& s) {
+  if (s == "skiptrie" || s == "sharded") return 0;
+  if (s == "skiplist") return 1;
+  return 2;  // locked_map
+}
+
 struct ScalingPoint {
   std::string structure;
   uint32_t bits = 0;
@@ -84,6 +108,61 @@ struct BatchPoint {
   double reuse_rate = 0.0;           // cursor_reuses / (reuses + redescends)
 };
 
+struct ServicePoint {
+  uint32_t shards = 0;
+  uint32_t clients = 0;
+  double mops = 0.0;
+  double depth_per_sub = 0.0;    // queue_depth_sum / service_subtasks
+  double wait_us_per_sub = 0.0;  // queue_wait_ns / service_subtasks / 1e3
+};
+
+// One service cell: same join keys as write_cell (section/structure/bits/
+// threads/mix/dist/batch_size/shards/repeat) so compare_bench joins it; the
+// payload merges submit-side (client) and execute-side (worker) counters.
+void write_service_cell(JsonWriter& j, uint32_t bits, uint32_t shards,
+                        const ClientSimConfig& cfg, const ClientSimResult& r,
+                        const StepCounters& worker_steps) {
+  StepCounters merged = r.client_steps;
+  merged += worker_steps;
+  const double ops = r.ops ? static_cast<double>(r.ops) : 1.0;
+  j.begin_object();
+  j.kv("section", "service");
+  j.kv("structure", "service");
+  j.kv("universe_bits", bits);
+  j.kv("threads", cfg.clients);  // submitting clients ~ driver threads
+  j.kv("mix", "balanced");
+  j.kv("dist", "zipf");
+  j.kv("batch_size", cfg.ops_per_request);
+  j.kv("shards", shards);
+  j.kv("key_space", cfg.key_space);
+  j.kv("prefill", cfg.prefill);
+  j.kv("seed", cfg.seed);
+  j.kv("repeat", 0u);
+  j.kv("total_ops", r.ops);
+  j.kv("requests", r.requests);
+  j.kv("burst", cfg.burst);
+  j.kv("tenants", cfg.tenants);
+  j.kv("seconds", r.seconds);
+  j.kv("mops", r.mops());
+  j.key("steps_per_op").begin_object();
+  j.kv("search", static_cast<double>(merged.search_steps()) / ops);
+  j.kv("total", static_cast<double>(merged.total_steps()) / ops);
+  j.end_object();
+  j.key("steps");
+  write_step_counters(j, merged);
+  j.key("per_op").begin_object();
+  for (size_t k = 0; k < kOpTypeCount; ++k) {
+    if (r.op_counts[k] == 0) continue;
+    j.key(op_type_name(static_cast<OpType>(k))).begin_object();
+    j.kv("ops", r.op_counts[k]);
+    j.kv("hits", r.op_hits[k]);
+    j.end_object();
+  }
+  j.end_object();
+  j.end_object();
+  j.newline();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,7 +176,11 @@ int main(int argc, char** argv) {
         "            [--mixes read_only,...] [--dists uniform,...]\n"
         "            [--ops TOTAL_PER_CELL] [--prefill N] [--scaling-ops N]\n"
         "            [--batch-sizes 1,16,256] [--batch-bits B]\n"
-        "            [--batch-space N] [--batch-prefill N]  (batch section)\n");
+        "            [--batch-space N] [--batch-prefill N]  (batch section)\n"
+        "            [--shards 1,2,4] [--service-clients 1,2,4]\n"
+        "            [--service-requests N] [--service-ops N]\n"
+        "            [--service-burst N] [--service-prefill N]\n"
+        "            [--service-bits B]  (service section)\n");
     return 0;
   }
   const bool quick = args.has("--quick");
@@ -135,6 +218,23 @@ int main(int argc, char** argv) {
   // full-universe regime is ROADMAP-documented rather than swept.
   const uint64_t batch_space = args.get_u64("--batch-space", 2048);
   const uint64_t batch_prefill = args.get_u64("--batch-prefill", 512);
+  // Service section axes.  Power-of-two shard counts only (routing is by
+  // key prefix); the clients axis is separate from --threads because the
+  // service adds a worker thread per shard on top of the submitters.
+  std::vector<uint32_t> shards_axis =
+      split_csv_u32(args.get("--shards", quick ? "1,2" : "1,2,4"));
+  std::vector<uint32_t> service_clients =
+      split_csv_u32(args.get("--service-clients", quick ? "1,2" : "1,2,4"));
+  const uint32_t service_bits =
+      static_cast<uint32_t>(args.get_u64("--service-bits", 20));
+  const uint32_t service_requests = static_cast<uint32_t>(
+      args.get_u64("--service-requests", quick ? 64 : 256));
+  const uint32_t service_ops = static_cast<uint32_t>(
+      args.get_u64("--service-ops", quick ? 16 : 32));
+  const uint32_t service_burst =
+      static_cast<uint32_t>(args.get_u64("--service-burst", 8));
+  const uint64_t service_prefill =
+      args.get_u64("--service-prefill", quick ? 256 : 4096);
 
   // Resolve named axes against the registries in bench_util.h; a token that
   // matches nothing is an error, not a silently shrunken sweep.
@@ -173,10 +273,11 @@ int main(int argc, char** argv) {
     }
   }
   for (const std::string& s : structures) {
-    if (s != "skiptrie" && s != "skiplist" && s != "locked_map") {
+    if (s != "skiptrie" && s != "skiplist" && s != "locked_map" &&
+        s != "sharded") {
       std::fprintf(stderr,
                    "bench_suite: unknown structure '%s' (skiptrie, skiplist, "
-                   "locked_map)\n",
+                   "locked_map, sharded)\n",
                    s.c_str());
       return 1;
     }
@@ -203,6 +304,21 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  for (const uint32_t s : shards_axis) {
+    // Power of two, and small enough to leave each shard >= 4 universe bits.
+    if (s == 0 || (s & (s - 1)) != 0 || s > (1u << 10) ||
+        service_bits < 4 || (s > 1 && service_bits < ceil_log2(s) + 4)) {
+      std::fprintf(stderr, "bench_suite: bad shard count %u for %u bits\n", s,
+                   service_bits);
+      return 1;
+    }
+  }
+  for (const uint32_t c : service_clients) {
+    if (c == 0 || c > 256) {
+      std::fprintf(stderr, "bench_suite: bad service client count %u\n", c);
+      return 1;
+    }
+  }
   if (mixes.empty() || dists.empty() || structures.empty() ||
       threads_axis.empty() || bits_axis.empty()) {
     std::fprintf(stderr, "bench_suite: empty axis\n");
@@ -225,6 +341,14 @@ int main(int argc, char** argv) {
   j.kv("batch_prefill", batch_prefill);
   j.key("batch_sizes").begin_array();
   for (const uint32_t bs : batch_sizes) j.value(static_cast<uint64_t>(bs));
+  j.end_array();
+  j.kv("service_bits", service_bits);
+  j.kv("service_requests_per_client", static_cast<uint64_t>(service_requests));
+  j.kv("service_ops_per_request", static_cast<uint64_t>(service_ops));
+  j.kv("service_burst", static_cast<uint64_t>(service_burst));
+  j.kv("service_prefill", service_prefill);
+  j.key("shards").begin_array();
+  for (const uint32_t s : shards_axis) j.value(static_cast<uint64_t>(s));
   j.end_array();
   j.end_object();
   j.key("cells").begin_array();
@@ -264,7 +388,8 @@ int main(int argc, char** argv) {
         spec.wc.dist = KeyDist::kUniform;
         spec.wc.key_space = bench_key_space(bits);
         spec.wc.prefill = pt.prefill;
-        spec.wc.seed = cell_seed(bits, 1, 0, 0, si, rep);
+        spec.wc.seed =
+            cell_seed(bits, 1, 0, 0, structure_seed_idx(structure), rep);
         spec.wc.latency_sample_every = latency_every;
         const CellResult res = run_cell(spec);
         write_cell(j, spec, res);
@@ -283,25 +408,37 @@ int main(int argc, char** argv) {
     const uint64_t space = bench_key_space(bits);
     const uint64_t prefill = std::min<uint64_t>(grid_prefill, space / 2);
     for (size_t si = 0; si < structures.size(); ++si) {
-      for (const uint32_t threads : threads_axis) {
-        for (size_t mi = 0; mi < mixes.size(); ++mi) {
-          for (size_t di = 0; di < dists.size(); ++di) {
-            CellSpec spec;
-            spec.section = "grid";
-            spec.structure = structures[si];
-            spec.mix_name = mixes[mi].name;
-            spec.universe_bits = bits;
-            spec.wc.threads = threads;
-            spec.wc.ops_per_thread = std::max<uint64_t>(grid_ops / threads, 1);
-            spec.wc.mix = mixes[mi].mix;
-            spec.wc.dist = dists[di];
-            spec.wc.key_space = space;
-            spec.wc.prefill = prefill;
-            spec.wc.seed = cell_seed(bits, threads, mi, di, si, 0);
-            spec.wc.latency_sample_every = latency_every;
-            const CellResult res = run_cell(spec);
-            write_cell(j, spec, res);
-            progress("grid");
+      // "sharded" sweeps the shard axis; everything else runs at shards=1.
+      // The cell seed ignores the shard count, so sharded cells at every N
+      // replay the same workload as the flat skiptrie cell.
+      const std::vector<uint32_t> cell_shards =
+          structures[si] == "sharded" ? shards_axis
+                                      : std::vector<uint32_t>{1};
+      for (const uint32_t shards : cell_shards) {
+        if (shards > 1 && bits < ceil_log2(shards) + 4) continue;
+        for (const uint32_t threads : threads_axis) {
+          for (size_t mi = 0; mi < mixes.size(); ++mi) {
+            for (size_t di = 0; di < dists.size(); ++di) {
+              CellSpec spec;
+              spec.section = "grid";
+              spec.structure = structures[si];
+              spec.mix_name = mixes[mi].name;
+              spec.universe_bits = bits;
+              spec.shards = shards;
+              spec.wc.threads = threads;
+              spec.wc.ops_per_thread =
+                  std::max<uint64_t>(grid_ops / threads, 1);
+              spec.wc.mix = mixes[mi].mix;
+              spec.wc.dist = dists[di];
+              spec.wc.key_space = space;
+              spec.wc.prefill = prefill;
+              spec.wc.seed = cell_seed(bits, threads, mi, di,
+                                       structure_seed_idx(structures[si]), 0);
+              spec.wc.latency_sample_every = latency_every;
+              const CellResult res = run_cell(spec);
+              write_cell(j, spec, res);
+              progress("grid");
+            }
           }
         }
       }
@@ -352,7 +489,8 @@ int main(int argc, char** argv) {
                                                  spec.wc.key_space / 2);
             // Identical across batch sizes: same keys, same heights
             // (heights are seed-stable per key), different grouping only.
-            spec.wc.seed = cell_seed(batch_bits, 1, mi + 64, di, si, 0);
+            spec.wc.seed = cell_seed(batch_bits, 1, mi + 64, di,
+                                     structure_seed_idx(structure), 0);
             spec.wc.latency_sample_every = latency_every;
             spec.wc.batch_size = bs;
             const CellResult res = run_cell(spec);
@@ -379,6 +517,50 @@ int main(int argc, char** argv) {
           }
         }
       }
+    }
+  }
+
+  // --- Section 4: service front-end ----------------------------------------
+  // The client simulator against a live Service: per-shard queues + workers,
+  // hot-tenant zipf traffic, bursty arrivals.  Each cell builds a fresh
+  // Service (its workers die with it), runs the simulator, stops the
+  // service, then merges submit-side and worker-side counters.  The
+  // clients=1/shards=1 cell executes on one FIFO worker, so its step counts
+  // are deterministic and CI-gated; queue_wait/depth are timing-bound and
+  // stay outside the gated counter set everywhere.
+  std::vector<ServicePoint> service_pts;
+  for (const uint32_t shards : shards_axis) {
+    for (const uint32_t clients : service_clients) {
+      ServiceConfig scfg;
+      scfg.shards = shards;
+      scfg.trie.universe_bits = service_bits;
+      Service svc(scfg);
+
+      ClientSimConfig sim;
+      sim.clients = clients;
+      sim.requests_per_client = service_requests;
+      sim.ops_per_request = service_ops;
+      sim.burst = service_burst;
+      sim.key_space = bench_key_space(service_bits);
+      sim.prefill = std::min<uint64_t>(service_prefill, sim.key_space / 2);
+      sim.seed = cell_seed(service_bits, clients, 0, 0, 97, shards);
+      const ClientSimResult res = run_client_sim(svc, sim);
+      svc.stop();
+      const StepCounters workers = svc.worker_counters();
+      write_service_cell(j, service_bits, shards, sim, res, workers);
+
+      ServicePoint pt;
+      pt.shards = shards;
+      pt.clients = clients;
+      pt.mops = res.mops();
+      const StepCounters& cs = res.client_steps;
+      const double subs =
+          cs.service_subtasks ? static_cast<double>(cs.service_subtasks) : 1.0;
+      pt.depth_per_sub = static_cast<double>(cs.queue_depth_sum) / subs;
+      pt.wait_us_per_sub =
+          static_cast<double>(workers.queue_wait_ns) / subs / 1e3;
+      service_pts.push_back(pt);
+      progress("service");
     }
   }
 
@@ -410,6 +592,19 @@ int main(int argc, char** argv) {
     j.end_object();
   }
   j.end_array();
+
+  // Service digest: throughput and queueing pressure by (shards, clients).
+  j.key("service_summary").begin_array();
+  for (const ServicePoint& pt : service_pts) {
+    j.begin_object();
+    j.kv("shards", pt.shards);
+    j.kv("clients", pt.clients);
+    j.kv("mops", pt.mops);
+    j.kv("queue_depth_per_subtask", pt.depth_per_sub);
+    j.kv("queue_wait_us_per_subtask", pt.wait_us_per_sub);
+    j.end_object();
+  }
+  j.end_array();
   j.kv("cells_total", static_cast<uint64_t>(cells_run));
   j.end_object();
   j.newline();
@@ -434,6 +629,16 @@ int main(int argc, char** argv) {
       std::printf("%-10s %-12s %-10s %-8u %-12.1f %-10.2f\n",
                   pt.structure.c_str(), pt.mix.c_str(), pt.dist.c_str(),
                   pt.batch_size, pt.hops_probes_per_key, pt.reuse_rate);
+    }
+  }
+  if (!service_pts.empty()) {
+    header("bench_suite: service front-end (queued, worker-per-shard)");
+    std::printf("%-8s %-8s %-10s %-12s %-14s\n", "shards", "clients", "mops",
+                "depth/sub", "wait_us/sub");
+    row_sep(56);
+    for (const ServicePoint& pt : service_pts) {
+      std::printf("%-8u %-8u %-10.2f %-12.2f %-14.1f\n", pt.shards,
+                  pt.clients, pt.mops, pt.depth_per_sub, pt.wait_us_per_sub);
     }
   }
 

@@ -35,6 +35,7 @@
 #include "common/random.h"
 #include "common/stats.h"
 #include "core/skiptrie.h"
+#include "shard/sharded_engine.h"
 #include "workload/driver.h"
 
 namespace skiptrie::bench {
@@ -189,6 +190,7 @@ struct CellSpec {
   std::string structure;          // "skiptrie" | "skiplist" | "locked_map"
   std::string mix_name = "balanced";
   uint32_t universe_bits = 32;
+  uint32_t shards = 1;            // "sharded"/"service" cells only (v5 axis)
   uint32_t repeat = 0;            // repeat index within identical specs
   WorkloadConfig wc;
 };
@@ -213,6 +215,13 @@ inline CellResult run_cell(const CellSpec& spec) {
     SkipTrie t(cfg);
     res.r = run_workload(t, spec.wc);
     res.stats = t.structure_stats();  // quiescent: workers joined
+    res.has_structure_stats = true;
+  } else if (spec.structure == "sharded") {
+    Config cfg;
+    cfg.universe_bits = spec.universe_bits;
+    ShardedEngine e(spec.shards, cfg);
+    res.r = run_workload(e, spec.wc);
+    res.stats = e.structure_stats();  // aggregated across shards
     res.has_structure_stats = true;
   } else if (spec.structure == "skiplist") {
     res.skiplist_levels = skiplist_levels_for(spec.wc.prefill);
@@ -274,9 +283,17 @@ inline std::string git_rev(const Args& args) {
 //       steps.{cursor_reuses, cursor_redescends, batch_ops, batch_keys}
 //       (DESIGN.md §5.3; event counters, not shared-memory steps); a new
 //       "batch" section sweeps batch sizes.  Purely additive again.
+//   v5  sharded engine + service front-end (PR 6): cells gain the `shards`
+//       axis (default 1 — older files join as shards = 1) and
+//       steps.{shard_batches, service_requests, service_subtasks,
+//       queue_full_waits, queue_depth_sum, queue_wait_ns} (DESIGN.md §5.4;
+//       event counters, not shared-memory steps); a new "service" section
+//       runs the client simulator against the queued Service front-end,
+//       and run_cell grows a "sharded" structure (ShardedEngine under the
+//       plain workload driver).  Purely additive again.
 inline void write_suite_header(JsonWriter& j, const char* suite,
                                const std::string& rev, bool quick) {
-  j.kv("schema_version", 4);
+  j.kv("schema_version", 5);
   j.kv("suite", suite);
   j.kv("git_rev", rev);
   j.kv("timestamp_utc", iso8601_utc_now());
@@ -331,12 +348,18 @@ inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
   j.kv("cursor_redescends", s.cursor_redescends);
   j.kv("batch_ops", s.batch_ops);
   j.kv("batch_keys", s.batch_keys);
+  j.kv("shard_batches", s.shard_batches);
+  j.kv("service_requests", s.service_requests);
+  j.kv("service_subtasks", s.service_subtasks);
+  j.kv("queue_full_waits", s.queue_full_waits);
+  j.kv("queue_depth_sum", s.queue_depth_sum);
+  j.kv("queue_wait_ns", s.queue_wait_ns);
   j.end_object();
 }
 
 // One record per measured cell; keys stable across suites so files from two
 // revisions can be joined on (section, structure, universe_bits, threads,
-// mix, dist, repeat).
+// mix, dist, batch_size, shards, repeat).
 inline void write_cell(JsonWriter& j, const CellSpec& spec,
                        const CellResult& res) {
   const WorkloadResult& r = res.r;
@@ -348,6 +371,7 @@ inline void write_cell(JsonWriter& j, const CellSpec& spec,
   j.kv("mix", spec.mix_name);
   j.kv("dist", key_dist_name(spec.wc.dist));
   j.kv("batch_size", spec.wc.batch_size);
+  j.kv("shards", spec.shards);
   j.kv("key_space", spec.wc.key_space);
   j.kv("prefill", spec.wc.prefill);
   j.kv("seed", spec.wc.seed);

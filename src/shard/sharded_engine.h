@@ -1,0 +1,150 @@
+// Sharded SkipTrie engine (DESIGN.md §4.1, §4.3).
+//
+// Partitions the B-bit key universe by the top log2(N) bits into N
+// independent SkipTrie shards.  Shard s owns exactly the keys whose top
+// bits equal s and stores them *low-bits only* in a SkipTrie over a
+// (B - log2 N)-bit universe, so every shard keeps the truncated-skiplist
+// depth bound of its own (smaller) universe.  Each shard owns the full
+// per-structure stack — SlabArena, EbrDomain, engine (and with it a unique
+// finger/cursor owner id, hence per-shard thread-local finger and cursor
+// state) — so shards share *no* mutable memory: operations on different
+// shards never contend, which is what gives the service layer
+// (src/service/) real parallelism to schedule onto.
+//
+// Routing (DESIGN.md §4.1): shard_of(k) = k >> (B - log2 N) and
+// low_of(k) = k & (2^(B - log2 N) - 1); both are bijective on
+// (shard, low) pairs, so no two distinct keys collide and every key has
+// exactly one home.  N = 1 is a strict pass-through to one SkipTrie with
+// the caller's exact Config — same step counts, same counters — which is
+// how the shard_test pins equivalence and how bench cells at shards=1
+// reproduce the unsharded engine.
+//
+// Single-key ordered queries fall back across shards: a predecessor query
+// that comes up empty in its home shard takes the largest key of the
+// nearest non-empty lower shard (symmetrically for successor).  Each
+// probe is a linearizable query on one shard, but the composition is only
+// sequentially consistent per operation — under concurrent writes to
+// *other* shards the combined answer reflects a slightly earlier state of
+// those shards, the same weak-consistency class as for_each_in_range.
+// Quiescent answers are exact, which is what the tests rely on.
+//
+// Batched operations run the split/merge protocol (DESIGN.md §4.3): sort
+// the batch (the PR 5 contract already does), slice the sorted stream
+// into contiguous per-shard runs — the top-bits routing makes shard runs
+// contiguous in sorted order for free — execute each run as one sub-batch
+// on its shard (one DescentCursor stream per shard, already-sorted fast
+// path, stable duplicate order preserved), and scatter results back to
+// input positions.  Sub-batches are counted in steps.shard_batches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/skiptrie.h"
+
+namespace skiptrie {
+
+class ShardedEngine {
+ public:
+  // `shards` must be a power of two >= 1, small enough to leave each shard
+  // a >= 4-bit low-key universe (the SkipTrie minimum).
+  explicit ShardedEngine(uint32_t shards = 1, const Config& cfg = Config{});
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // --- Single-key operations (route by top bits) --------------------------
+  bool insert(uint64_t key) { return shards_[shard_of(key)]->insert(low_of(key)); }
+  bool erase(uint64_t key) { return shards_[shard_of(key)]->erase(low_of(key)); }
+  bool contains(uint64_t key) const {
+    return shards_[shard_of(key)]->contains(low_of(key));
+  }
+  std::optional<uint64_t> predecessor(uint64_t key) const;
+  std::optional<uint64_t> strict_predecessor(uint64_t key) const;
+  std::optional<uint64_t> successor(uint64_t key) const;
+  std::optional<uint64_t> min_key() const;
+  std::optional<uint64_t> max_key_present() const;
+
+  // --- Batched operations (split/merge, DESIGN.md §4.3) --------------------
+  // Same contract as SkipTrie: results (length n) in input order,
+  // duplicates resolved in input order, return value = number of true
+  // results.  At shards=1 these forward unmodified (zero-copy).
+  size_t insert_batch(const uint64_t* keys, size_t n, uint8_t* results = nullptr);
+  size_t erase_batch(const uint64_t* keys, size_t n, uint8_t* results = nullptr);
+  size_t contains_batch(const uint64_t* keys, size_t n,
+                        uint8_t* results = nullptr) const;
+  size_t predecessor_batch(const uint64_t* keys, size_t n,
+                           std::optional<uint64_t>* results = nullptr) const;
+
+  size_t insert_batch(const std::vector<uint64_t>& keys,
+                      uint8_t* results = nullptr) {
+    return insert_batch(keys.data(), keys.size(), results);
+  }
+  size_t erase_batch(const std::vector<uint64_t>& keys,
+                     uint8_t* results = nullptr) {
+    return erase_batch(keys.data(), keys.size(), results);
+  }
+  size_t contains_batch(const std::vector<uint64_t>& keys,
+                        uint8_t* results = nullptr) const {
+    return contains_batch(keys.data(), keys.size(), results);
+  }
+  size_t predecessor_batch(const std::vector<uint64_t>& keys,
+                           std::optional<uint64_t>* results = nullptr) const {
+    return predecessor_batch(keys.data(), keys.size(), results);
+  }
+
+  // Approximate under concurrency; exact when quiescent.  Sum of shards.
+  size_t size() const;
+
+  uint32_t universe_bits() const { return cfg_.universe_bits; }
+  // Largest *global* key this engine accepts: the unsharded SkipTrie's
+  // max_key for the same Config.  (At B = 64 the two sentinel-reserved top
+  // keys stay excluded even though a multi-shard split could physically
+  // represent them — the sharded engine must accept exactly the unsharded
+  // key range.)
+  uint64_t max_key() const;
+
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t shard_bits() const { return shard_bits_; }
+  // Routing rule (public so tests can pin the bijection).
+  uint32_t shard_of(uint64_t key) const {
+    return shard_bits_ == 0 ? 0u
+                            : static_cast<uint32_t>(key >> low_bits_);
+  }
+  uint64_t low_of(uint64_t key) const {
+    return shard_bits_ == 0 ? key : (key & low_mask_);
+  }
+  uint64_t global_key(uint32_t shard, uint64_t low) const {
+    return shard_bits_ == 0 ? low
+                            : ((static_cast<uint64_t>(shard) << low_bits_) | low);
+  }
+
+  // Shard access for tests, benchmarks, and the service layer.
+  SkipTrie& shard(size_t i) { return *shards_[i]; }
+  const SkipTrie& shard(size_t i) const { return *shards_[i]; }
+  const Config& config() const { return cfg_; }
+
+  // Quiescent-only aggregate over the per-shard structure walks: additive
+  // fields (keys, level/top counts, trie entries, bytes, buckets) sum;
+  // max_top_gap takes the max; load factor and avg_top_gap are recomputed
+  // from the summed numerators/denominators.
+  SkipTrie::StructureStats structure_stats() const;
+
+ private:
+  Config cfg_;                  // the caller's config (full universe)
+  uint32_t shard_bits_ = 0;     // log2(shard count)
+  uint32_t low_bits_ = 0;       // universe_bits - shard_bits
+  uint64_t low_mask_ = 0;
+  std::vector<std::unique_ptr<SkipTrie>> shards_;
+
+  // Largest global key in any shard strictly below `s`, or nullopt.
+  std::optional<uint64_t> max_below(uint32_t s) const;
+  // Smallest global key in any shard strictly above `s`, or nullopt.
+  std::optional<uint64_t> min_above(uint32_t s) const;
+};
+
+}  // namespace skiptrie

@@ -1,6 +1,8 @@
 #include "skiplist/cursor.h"
 
+#include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "common/stats.h"
 #include "dcss/dcss.h"
@@ -180,32 +182,62 @@ void DescentCursor::note_erase(uint64_t x) {
 
 namespace {
 
-// Per-thread cursor cache, mirroring the finger registry (finger.cpp):
-// slots bind to never-reused engine owner ids and recycle round-robin, so
-// a stale slot can never be mistaken for a live engine's cursor.
+// Per-thread cursor registry, mirroring the finger registry (finger.cpp):
+// one stable slot per live engine the thread has touched, keyed by the
+// never-reused owner id, growable, with move-toward-front promotion and a
+// lazy sweep of the shared dead-owner journal (DESIGN.md §4.2).  A slot is
+// never rebound while its owner lives, so cursors fetched for different
+// engines never alias and a shard's stream state survives the thread
+// visiting every other shard in between.
 struct CursorSlot {
   uint64_t owner = 0;
   std::unique_ptr<DescentCursor> cur;
 };
-constexpr size_t kTlsCursorSlots = 4;
-thread_local CursorSlot tl_cursor_slots[kTlsCursorSlots];
-thread_local size_t tl_cursor_victim = 0;
+struct CursorRegistry {
+  std::vector<CursorSlot> slots;
+  uint64_t seen_dead = 0;
+  std::vector<uint64_t> scratch;
+};
+thread_local CursorRegistry tl_cursor_reg;
+
+void sweep_dead_cursors(CursorRegistry& reg) {
+  const uint64_t v = detail::dead_owner_version();
+  if (v == reg.seen_dead) return;
+  reg.seen_dead = detail::dead_owners_since(reg.seen_dead, reg.scratch);
+  for (const uint64_t dead : reg.scratch) {
+    for (size_t i = 0; i < reg.slots.size(); ++i) {
+      if (reg.slots[i].owner == dead) {
+        reg.slots.erase(reg.slots.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+}
 
 }  // namespace
 
 DescentCursor& tls_cursor(uint64_t owner, SkipListEngine& engine) {
-  for (CursorSlot& s : tl_cursor_slots) {
-    if (s.owner == owner && s.cur != nullptr) return *s.cur;
+  CursorRegistry& reg = tl_cursor_reg;
+  sweep_dead_cursors(reg);
+  for (size_t i = 0; i < reg.slots.size(); ++i) {
+    if (reg.slots[i].owner == owner) {
+      if (i > 0) {
+        std::swap(reg.slots[i], reg.slots[i - 1]);
+        --i;
+      }
+      return *reg.slots[i].cur;
+    }
   }
-  CursorSlot& s = tl_cursor_slots[tl_cursor_victim];
-  tl_cursor_victim = (tl_cursor_victim + 1) % kTlsCursorSlots;
-  if (s.cur == nullptr) {
-    s.cur = std::make_unique<DescentCursor>(engine);
-  } else {
-    s.cur->rebind(engine);
-  }
+  CursorSlot s;
   s.owner = owner;
-  return *s.cur;
+  s.cur = std::make_unique<DescentCursor>(engine);
+  reg.slots.push_back(std::move(s));
+  return *reg.slots.back().cur;
+}
+
+size_t tls_cursor_registry_size() {
+  sweep_dead_cursors(tl_cursor_reg);
+  return tl_cursor_reg.slots.size();
 }
 
 }  // namespace skiptrie

@@ -44,8 +44,9 @@ class DescentCursor {
   DescentCursor(const DescentCursor&) = delete;
   DescentCursor& operator=(const DescentCursor&) = delete;
 
-  // Re-seat this cursor onto another engine (the tls registry recycles
-  // slots round-robin, like tls_finger); drops every retained bracket.
+  // Re-seat this cursor onto another engine; drops every retained bracket.
+  // The tls registry never calls this (slots are stable per owner,
+  // DESIGN.md §4.2) — it exists for callers that own a cursor directly.
   void rebind(SkipListEngine& engine) {
     eng_ = &engine;
     warm_ = false;
@@ -110,7 +111,14 @@ class DescentCursor {
 
 // The calling thread's persistent cursor for the engine identified by
 // `owner` (the finger registry's owner ids; see SkipListEngine::cursor()).
-// A small per-thread cache; an evicted binding is simply a cold cursor.
+// Like tls_finger, the returned reference stays valid — and keeps denoting
+// the same engine's cursor — until that engine is destroyed; fetching
+// cursors for any number of other engines never rebinds it (DESIGN.md
+// §4.2).  Dead owners are swept lazily via the shared journal in
+// finger.cpp.
 DescentCursor& tls_cursor(uint64_t owner, SkipListEngine& engine);
+
+// Test hook: number of live slots in the calling thread's cursor registry.
+size_t tls_cursor_registry_size();
 
 }  // namespace skiptrie

@@ -40,7 +40,12 @@ SkipListEngine::SkipListEngine(DcssContext ctx, SlabArena& arena,
   }
 }
 
-SkipListEngine::~SkipListEngine() = default;  // arena owns all node storage
+SkipListEngine::~SkipListEngine() {
+  // Arena owns all node storage; the only cleanup is publishing this
+  // engine's owner id to the dead-owner journal so every thread's
+  // finger/cursor registry slots for it are reclaimed (DESIGN.md §4.2).
+  release_finger_owner(finger_owner_);
+}
 
 DescentCursor& SkipListEngine::cursor() { return tls_cursor(finger_owner_, *this); }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <mutex>
 
 #include "dcss/dcss.h"
 
@@ -81,32 +82,109 @@ int SearchFinger::try_start(uint64_t x, uint32_t min_level,
   return kMiss;
 }
 
+// --- Dead-owner journal ------------------------------------------------------
+//
+// Owner ids are never reused, so the registries below key slots by owner and
+// hand out stable objects.  To keep a thread's registry from growing with
+// every engine it has *ever* touched (bench_suite's main thread prefills
+// hundreds of short-lived structures), a destroyed engine appends its owner
+// id here and each registry drops matching slots lazily on its next lookup.
+// The journal itself is append-only (8 bytes per engine ever destroyed) and
+// each thread only scans the suffix it has not yet seen.
+
 namespace {
 
-// Per-thread finger cache.  Slots are bound to owner ids on demand and
-// recycled round-robin; because owner ids are never reused, a stale slot
-// can never be mistaken for a live engine's finger (its pointers sit inert
-// until the slot is rebound and reset).
+std::mutex dead_owner_mu;
+std::vector<uint64_t> dead_owner_journal;
+std::atomic<uint64_t> dead_owner_ver{0};
+
+}  // namespace
+
+void release_finger_owner(uint64_t owner) {
+  std::lock_guard<std::mutex> lk(dead_owner_mu);
+  dead_owner_journal.push_back(owner);
+  dead_owner_ver.store(dead_owner_journal.size(), std::memory_order_release);
+}
+
+namespace detail {
+
+uint64_t dead_owner_version() {
+  return dead_owner_ver.load(std::memory_order_acquire);
+}
+
+uint64_t dead_owners_since(uint64_t since, std::vector<uint64_t>& out) {
+  std::lock_guard<std::mutex> lk(dead_owner_mu);
+  out.assign(dead_owner_journal.begin() + static_cast<ptrdiff_t>(since),
+             dead_owner_journal.end());
+  return dead_owner_journal.size();
+}
+
+}  // namespace detail
+
+namespace {
+
+// Per-thread finger registry: one stable slot per live engine the thread
+// has touched.  No eviction while the owner lives — the fixed-slot
+// round-robin it replaces rebound objects in place, retargeting references
+// an outer frame still held (aliasing) and resetting every finger to cold
+// whenever a thread cycled through more engines than slots, which is the
+// steady state of a sharded split batch (DESIGN.md §4.2).  Lookups scan
+// linearly with move-toward-front promotion, so the repeated-owner path
+// stays O(1) and a shard sweep costs at most one swap per shard.
 struct FingerSlot {
   uint64_t owner = 0;
   std::unique_ptr<SearchFinger> finger;
 };
-constexpr size_t kTlsFingerSlots = 4;
-thread_local FingerSlot tl_finger_slots[kTlsFingerSlots];
-thread_local size_t tl_finger_victim = 0;
+struct FingerRegistry {
+  std::vector<FingerSlot> slots;
+  uint64_t seen_dead = 0;           // journal position already processed
+  std::vector<uint64_t> scratch;
+};
+thread_local FingerRegistry tl_finger_reg;
+
+template <typename Registry>
+void sweep_dead_owners(Registry& reg) {
+  const uint64_t v = detail::dead_owner_version();
+  if (v == reg.seen_dead) return;
+  reg.seen_dead = detail::dead_owners_since(reg.seen_dead, reg.scratch);
+  for (const uint64_t dead : reg.scratch) {
+    for (size_t i = 0; i < reg.slots.size(); ++i) {
+      if (reg.slots[i].owner == dead) {
+        reg.slots.erase(reg.slots.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+}
 
 }  // namespace
 
 SearchFinger& tls_finger(uint64_t owner, uint32_t top_level) {
-  for (FingerSlot& s : tl_finger_slots) {
-    if (s.owner == owner && s.finger != nullptr) return *s.finger;
+  FingerRegistry& reg = tl_finger_reg;
+  sweep_dead_owners(reg);
+  for (size_t i = 0; i < reg.slots.size(); ++i) {
+    if (reg.slots[i].owner == owner) {
+      // Swapping slots moves only the owner word and the unique_ptr; the
+      // SearchFinger objects themselves never move, so held references
+      // stay valid across promotions.
+      if (i > 0) {
+        std::swap(reg.slots[i], reg.slots[i - 1]);
+        --i;
+      }
+      return *reg.slots[i].finger;
+    }
   }
-  FingerSlot& s = tl_finger_slots[tl_finger_victim];
-  tl_finger_victim = (tl_finger_victim + 1) % kTlsFingerSlots;
-  if (s.finger == nullptr) s.finger = std::make_unique<SearchFinger>();
+  FingerSlot s;
   s.owner = owner;
+  s.finger = std::make_unique<SearchFinger>();
   s.finger->reset(owner, top_level);
-  return *s.finger;
+  reg.slots.push_back(std::move(s));
+  return *reg.slots.back().finger;
+}
+
+size_t tls_finger_registry_size() {
+  sweep_dead_owners(tl_finger_reg);
+  return tl_finger_reg.slots.size();
 }
 
 uint64_t new_finger_owner() {

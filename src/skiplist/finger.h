@@ -25,9 +25,22 @@
 // Fingers are thread-local and keyed by a never-reused per-engine owner id,
 // so a finger recorded against a destroyed engine can never be consulted by
 // a live one.  No SearchFinger is ever shared between threads.
+//
+// The per-thread registry grows on demand — one slot per live engine the
+// thread has touched — and returns a *stable* object per owner: a slot is
+// never rebound to another engine while its owner is alive, so references
+// obtained for different engines never alias (DESIGN.md §4.2; the PR 4/5
+// fixed-4-slot round-robin registry recycled objects in place, which both
+// aliased held references and kept every finger permanently cold once a
+// thread cycled through more engines than slots — exactly what a sharded
+// split batch does).  Growth is bounded by *live* engines: destroyed
+// engines release their owner id into a journal and each thread's registry
+// drops the matching slots lazily on its next lookup.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "skiplist/node.h"
 
@@ -117,11 +130,32 @@ class SearchFinger {
 };
 
 // The calling thread's finger for the engine identified by `owner` (ids
-// come from new_finger_owner() and are never reused).  A small per-thread
-// cache keyed by owner id; an evicted binding is simply a cold finger.
+// come from new_finger_owner() and are never reused).  The returned
+// reference stays valid — and keeps denoting the same engine's finger —
+// until the owning engine is destroyed; fetching fingers for any number of
+// other engines never invalidates or rebinds it.
 SearchFinger& tls_finger(uint64_t owner, uint32_t top_level);
 
 // Unique, never-reused owner id — one per SkipListEngine instance.
 uint64_t new_finger_owner();
+
+// Called by the engine's destructor: records `owner` in the dead-owner
+// journal so every thread's finger/cursor registries drop their slots for
+// it on their next lookup (keeping registry growth bounded by the engines
+// actually alive).  Safe from any thread; must not race the owner's own
+// engine still being used.
+void release_finger_owner(uint64_t owner);
+
+namespace detail {
+// Dead-owner journal, shared by the finger and cursor registries
+// (cursor.cpp): monotone version = number of owners ever released.
+uint64_t dead_owner_version();
+// Appends owners released since journal position `since` to `out` and
+// returns the new position.
+uint64_t dead_owners_since(uint64_t since, std::vector<uint64_t>& out);
+}  // namespace detail
+
+// Test hook: number of live slots in the calling thread's finger registry.
+size_t tls_finger_registry_size();
 
 }  // namespace skiptrie

@@ -1,0 +1,155 @@
+#include "workload/client_sim.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/spin_barrier.h"
+#include "workload/distributions.h"
+
+namespace skiptrie {
+
+namespace {
+
+// Scatter tenant ranks so the zipf head doesn't pile every hot tenant into
+// the lowest key prefixes (= one shard).  Fibonacci-hash scramble, bijective
+// on [0, tenants) after the mod only when tenants divides 2^64 — tenants is
+// arbitrary here, so collisions are possible but harmless: this shapes load,
+// it doesn't define correctness.
+uint32_t scatter_rank(uint64_t rank, uint32_t tenants) {
+  return static_cast<uint32_t>((rank * 0x9e3779b97f4a7c15ull) % tenants);
+}
+
+ServiceOp draw_op(const OpMix& mix, Xoshiro256& rng) {
+  const double r = rng.next_double();
+  if (r < mix.insert) return ServiceOp::kInsert;
+  if (r < mix.insert + mix.erase) return ServiceOp::kErase;
+  if (r < mix.insert + mix.erase + mix.predecessor) {
+    return ServiceOp::kPredecessor;
+  }
+  return ServiceOp::kContains;
+}
+
+OpType op_type_of(ServiceOp op) {
+  switch (op) {
+    case ServiceOp::kInsert: return OpType::kInsert;
+    case ServiceOp::kErase: return OpType::kErase;
+    case ServiceOp::kPredecessor: return OpType::kPredecessor;
+    case ServiceOp::kContains: return OpType::kLookup;
+  }
+  return OpType::kLookup;
+}
+
+}  // namespace
+
+ClientSimResult run_client_sim(Service& svc, const ClientSimConfig& cfg) {
+  const uint64_t tenants = std::max<uint32_t>(cfg.tenants, 1);
+  const uint64_t span = std::max<uint64_t>(cfg.key_space / tenants, 1);
+
+  // Prefill draws from the same tenant-skewed distribution as the timed
+  // phase (a uniform prefill would make hot-tenant reads measure misses),
+  // directly through the engine — no queueing.
+  if (cfg.prefill > 0) {
+    KeyGenerator tgen(KeyDist::kZipf, tenants, cfg.seed ^ 0x9e3779b9,
+                      cfg.zipf_theta);
+    Xoshiro256 kr(cfg.seed ^ 0x51ab5eedull);
+    for (uint64_t i = 0; i < cfg.prefill; ++i) {
+      const uint32_t tenant =
+          scatter_rank(tgen.next(), static_cast<uint32_t>(tenants));
+      svc.engine().insert(tenant * span + kr.next_below(span));
+    }
+  }
+
+  ClientSimResult result;
+  std::mutex agg_mu;
+  SpinBarrier barrier(cfg.clients + 1);
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point first_start = Clock::time_point::max();
+  Clock::time_point last_end = Clock::time_point::min();
+
+  std::vector<std::thread> clients;
+  clients.reserve(cfg.clients);
+  for (uint32_t t = 0; t < cfg.clients; ++t) {
+    clients.emplace_back([&, t] {
+      // Per-client streams: tenant skew, intra-tenant keys, op mix.
+      KeyGenerator tgen(KeyDist::kZipf, tenants,
+                        cfg.seed + 0x7717 * (t + 1), cfg.zipf_theta);
+      Xoshiro256 kr(cfg.seed ^ (0xc11e27ull * (t + 1)));
+      Xoshiro256 opr(cfg.seed ^ (0xabcdull * (t + 1)));
+      ClientSimResult local;
+      StepCounters& tls = tls_counters();
+
+      const uint32_t burst = std::max<uint32_t>(cfg.burst, 1);
+      std::vector<std::future<ServiceResult>> inflight;
+      std::vector<std::vector<ServiceOp>> inflight_ops;
+      inflight.reserve(burst);
+      inflight_ops.reserve(burst);
+
+      const auto drain = [&] {
+        for (size_t r = 0; r < inflight.size(); ++r) {
+          const ServiceResult sr = inflight[r].get();
+          for (size_t j = 0; j < sr.results.size(); ++j) {
+            const size_t k = static_cast<size_t>(op_type_of(inflight_ops[r][j]));
+            local.op_counts[k]++;
+            local.op_hits[k] += sr.results[j].ok ? 1 : 0;
+          }
+          local.ops += sr.results.size();
+          local.requests++;
+        }
+        inflight.clear();
+        inflight_ops.clear();
+      };
+
+      barrier.arrive_and_wait();
+      const Clock::time_point my_start = Clock::now();
+      const StepCounters before = tls;
+      for (uint32_t r = 0; r < cfg.requests_per_client; ++r) {
+        const uint32_t tenant =
+            scatter_rank(tgen.next(), static_cast<uint32_t>(tenants));
+        std::vector<ServiceOpItem> ops;
+        std::vector<ServiceOp> kinds;
+        ops.reserve(cfg.ops_per_request);
+        kinds.reserve(cfg.ops_per_request);
+        for (uint32_t j = 0; j < cfg.ops_per_request; ++j) {
+          const ServiceOp op = draw_op(cfg.mix, opr);
+          ops.push_back({op, tenant * span + kr.next_below(span)});
+          kinds.push_back(op);
+        }
+        inflight.push_back(svc.submit(std::move(ops)));
+        inflight_ops.push_back(std::move(kinds));
+        if (inflight.size() >= burst) drain();
+      }
+      drain();
+      local.client_steps = tls - before;
+      const Clock::time_point my_end = Clock::now();
+      barrier.arrive_and_wait();
+
+      std::lock_guard<std::mutex> lk(agg_mu);
+      if (my_start < first_start) first_start = my_start;
+      if (my_end > last_end) last_end = my_end;
+      result.requests += local.requests;
+      result.ops += local.ops;
+      for (size_t k = 0; k < kOpTypeCount; ++k) {
+        result.op_counts[k] += local.op_counts[k];
+        result.op_hits[k] += local.op_hits[k];
+      }
+      result.client_steps += local.client_steps;
+    });
+  }
+
+  barrier.arrive_and_wait();  // start together
+  barrier.arrive_and_wait();  // all clients done submitting and draining
+  for (auto& th : clients) th.join();
+
+  result.seconds = last_end > first_start
+                       ? std::chrono::duration<double>(last_end - first_start)
+                             .count()
+                       : 0.0;
+  return result;
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,60 @@
+// Client simulator for the Service front-end (DESIGN.md §4.3).
+//
+// Models the north-star traffic shape — many tenants, a few of them hot —
+// against a Service: the key universe splits into `tenants` contiguous
+// equal ranges (tenant = key prefix, so hot tenants concentrate on few
+// shards), each simulated client draws a tenant per request from a zipf
+// distribution over *scattered* tenant ranks (hot tenants land on
+// unrelated prefixes, not all in shard 0), then draws the request's keys
+// uniformly inside the tenant's range.  Arrivals are bursty: a client
+// submits `burst` requests back-to-back without waiting (async futures),
+// then waits for the whole burst before issuing the next — queue depth and
+// wait attribution (steps.queue_depth_sum / queue_wait_ns) measure exactly
+// this pressure.
+//
+// Determinism: all draws derive from (seed, client index), so two runs
+// with the same config submit identical request streams; what concurrency
+// changes is only the per-shard interleaving across clients.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "service/service.h"
+#include "workload/driver.h"
+
+namespace skiptrie {
+
+struct ClientSimConfig {
+  uint32_t clients = 2;             // submitting threads
+  uint32_t requests_per_client = 256;
+  uint32_t ops_per_request = 32;    // batch size of each request
+  uint32_t burst = 8;               // requests in flight per client
+  uint32_t tenants = 64;            // contiguous key ranges (prefix tenants)
+  double zipf_theta = 0.99;         // hot-tenant skew
+  uint64_t key_space = 1ull << 20;  // must be <= engine max_key + 1
+  OpMix mix = OpMix::balanced();    // per-op draw, same shape as the driver
+  uint64_t seed = 42;
+  uint64_t prefill = 0;             // keys inserted directly before timing
+};
+
+struct ClientSimResult {
+  double seconds = 0.0;
+  uint64_t requests = 0;
+  uint64_t ops = 0;
+  uint64_t op_counts[kOpTypeCount] = {};  // by OpType order
+  uint64_t op_hits[kOpTypeCount] = {};
+  StepCounters client_steps;  // submit-side counters (queueing attribution)
+
+  double mops() const {
+    return seconds > 0.0 ? static_cast<double>(ops) / seconds / 1e6 : 0.0;
+  }
+};
+
+// Runs the simulator against `svc` (which must be started and not stopped).
+// Client threads submit; the service's own workers execute.  The returned
+// counters cover the client side only — the engine-side counters live in
+// svc.worker_counters() after svc.stop().
+ClientSimResult run_client_sim(Service& svc, const ClientSimConfig& cfg);
+
+}  // namespace skiptrie

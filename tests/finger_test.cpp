@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "common/stats.h"
 #include "baseline/lockfree_skiplist.h"
 #include "core/skiptrie.h"
+#include "skiplist/cursor.h"
 #include "skiplist/engine.h"
 #include "skiplist/finger.h"
 
@@ -244,6 +246,98 @@ TEST(FingerEngineTest, BaselineSkiplistFingersRepeatedReads) {
   for (int i = 0; i < 8; ++i) EXPECT_EQ(off.predecessor(400).value(), 400u);
   EXPECT_EQ(tls_counters().finger_hits + tls_counters().finger_misses, 0u);
   tls_counters() = StepCounters{};
+}
+
+// --- Registry aliasing regression (DESIGN.md §4.2) ---------------------------
+//
+// The PR 4/5 registries held a fixed 4 slots per thread and recycled them
+// round-robin, rebinding the SearchFinger / DescentCursor objects in place.
+// One thread touching more than 4 engines — the steady state of a sharded
+// split batch — silently retargeted references an outer frame still held
+// (aliasing) and reset every finger to cold on each cycle.  These tests pin
+// the replacement contract: one stable object per live owner, distinct
+// across owners, swept only when the owner's engine is destroyed.
+
+TEST(RegistryAliasingTest, FingersStayDistinctAndStableAcrossManyOwners) {
+  std::thread probe([] {
+    constexpr int kOwners = 8;  // more than the old registry could hold
+    uint64_t owners[kOwners];
+    SearchFinger* fingers[kOwners];
+    for (int i = 0; i < kOwners; ++i) {
+      owners[i] = new_finger_owner();
+      fingers[i] = &tls_finger(owners[i], 3);
+    }
+    for (int i = 0; i < kOwners; ++i) {
+      for (int j = i + 1; j < kOwners; ++j) {
+        EXPECT_NE(fingers[i], fingers[j]) << i << "," << j;
+      }
+    }
+    // Re-fetching in any interleaving returns the same object still bound
+    // to the same owner — the old registry failed exactly here, handing
+    // finger[i]'s storage to another owner once i fell 4 fetches behind.
+    for (int round = 0; round < 3; ++round) {
+      for (int i = kOwners - 1; i >= 0; --i) {
+        SearchFinger& f = tls_finger(owners[i], 3);
+        EXPECT_EQ(&f, fingers[i]) << i;
+        EXPECT_EQ(f.owner(), owners[i]);
+      }
+    }
+    for (int i = 0; i < kOwners; ++i) release_finger_owner(owners[i]);
+  });
+  probe.join();
+}
+
+TEST(RegistryAliasingTest, CursorsStayDistinctAndStableAcrossManyOwners) {
+  SlabArena arena(sizeof(Node), kCacheLine, 1024);
+  EbrDomain ebr;
+  DcssContext ctx{&ebr, DcssMode::kDcss};
+  constexpr int kEngines = 8;
+  std::vector<std::unique_ptr<SkipListEngine>> engines;
+  for (int i = 0; i < kEngines; ++i) {
+    engines.push_back(std::make_unique<SkipListEngine>(ctx, arena, 3));
+  }
+  std::thread probe([&] {
+    DescentCursor* cursors[kEngines];
+    for (int i = 0; i < kEngines; ++i) cursors[i] = &engines[i]->cursor();
+    for (int i = 0; i < kEngines; ++i) {
+      for (int j = i + 1; j < kEngines; ++j) {
+        EXPECT_NE(cursors[i], cursors[j]) << i << "," << j;
+      }
+    }
+    // A split batch visits shards round-robin; every revisit must find the
+    // shard's own cursor (stream state intact), not a recycled slot.
+    for (int round = 0; round < 3; ++round) {
+      for (int i = kEngines - 1; i >= 0; --i) {
+        EXPECT_EQ(&engines[i]->cursor(), cursors[i]) << i;
+      }
+    }
+  });
+  probe.join();
+}
+
+TEST(RegistryAliasingTest, DeadOwnersAreSweptFromBothRegistries) {
+  std::thread probe([] {
+    const size_t f0 = tls_finger_registry_size();
+    const size_t c0 = tls_cursor_registry_size();
+    {
+      SlabArena arena(sizeof(Node), kCacheLine, 2048);
+      EbrDomain ebr;
+      DcssContext ctx{&ebr, DcssMode::kDcss};
+      std::vector<std::unique_ptr<SkipListEngine>> engines;
+      for (int i = 0; i < 6; ++i) {
+        engines.push_back(std::make_unique<SkipListEngine>(ctx, arena, 3));
+        engines.back()->finger();
+        engines.back()->cursor();
+      }
+      EXPECT_EQ(tls_finger_registry_size(), f0 + 6);
+      EXPECT_EQ(tls_cursor_registry_size(), c0 + 6);
+    }
+    // Engine destructors journaled the owners; the next lookup (which the
+    // size hooks share) must have dropped every slot.
+    EXPECT_EQ(tls_finger_registry_size(), f0);
+    EXPECT_EQ(tls_cursor_registry_size(), c0);
+  });
+  probe.join();
 }
 
 // --- The invalidation regression --------------------------------------------

@@ -2,9 +2,9 @@
 """Diff two BENCH_suite.json files on step counts and probe counters.
 
 Joins the "cells" arrays on (section, structure, universe_bits, threads,
-mix, dist, batch_size, repeat) — the stable key documented in README
-"Benchmarks"; batch_size defaults to 1 for files that predate it — and
-reports, per matched cell, the relative change in:
+mix, dist, batch_size, shards, repeat) — the stable key documented in
+README "Benchmarks"; batch_size and shards default to 1 for files that
+predate them — and reports, per matched cell, the relative change in:
 
   - steps_per_op.search and steps_per_op.total
   - per-op rates of the probe counters (hash_probes, probes_lookup,
@@ -20,8 +20,11 @@ Designed to run as a non-fatal CI report step:
 
     tools/compare_bench.py BENCH_suite.json build/BENCH_suite_quick.json
 
-Schema: accepts v1 through v4 files; counters missing from an older file
+Schema: accepts v1 through v5 files; counters missing from an older file
 are skipped (reported as "new"), never treated as zero.
+
+`--self-test` runs the built-in join unit test (no input files needed);
+it is registered in ctest so the cross-version join cannot bit-rot.
 """
 
 import argparse
@@ -29,12 +32,12 @@ import json
 import sys
 
 JOIN_KEY = ("section", "structure", "universe_bits", "threads", "mix",
-            "dist", "batch_size", "repeat")
+            "dist", "batch_size", "shards", "repeat")
 
 # Per-key defaults applied when a file predates an axis, so older suites
-# still join cleanly (batch_size was introduced in schema v4; every earlier
-# cell was implicitly unbatched).
-JOIN_DEFAULTS = {"batch_size": 1}
+# still join cleanly (batch_size was introduced in schema v4, shards in v5;
+# every earlier cell was implicitly unbatched and unsharded).
+JOIN_DEFAULTS = {"batch_size": 1, "shards": 1}
 
 # Note: the finger counters (finger_hits/misses, hops_finger_saved) are
 # intentionally absent — a hit-rate shift is not by itself a regression;
@@ -50,14 +53,69 @@ RATE_COUNTERS = ("hash_probes", "probes_lookup", "probes_chain",
                  "cursor_redescends")
 
 
-def load_cells(path):
-    with open(path) as f:
-        doc = json.load(f)
+def cells_of(doc):
     cells = {}
     for cell in doc.get("cells", []):
         key = tuple(cell.get(k, JOIN_DEFAULTS.get(k)) for k in JOIN_KEY)
         cells[key] = cell
-    return doc, cells
+    return cells
+
+
+def load_cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc, cells_of(doc)
+
+
+def self_test():
+    """Unit test of the cross-version join: a pre-v5 cell (no `shards` key)
+    must land on the v5 cell with shards == 1 and on nothing else."""
+    def cell(**kw):
+        c = {"section": "grid", "structure": "skiptrie", "universe_bits": 32,
+             "threads": 1, "mix": "balanced", "dist": "uniform", "repeat": 0,
+             "total_ops": 100, "steps_per_op": {"search": 5.0, "total": 9.0},
+             "steps": {"node_hops": 300, "hash_probes": 200}}
+        c.update(kw)
+        return c
+
+    # v4 baseline: no `shards` axis at all (and one cell without batch_size,
+    # exercising the older default too).
+    v4 = {"schema_version": 4, "cells": [
+        cell(batch_size=1),
+        cell(batch_size=16),
+        cell(dist="zipf"),  # no batch_size key -> defaults to 1
+    ]}
+    # v5 candidate: every cell carries shards; one sharded cell is new.
+    v5 = {"schema_version": 5, "cells": [
+        cell(batch_size=1, shards=1,
+             steps_per_op={"search": 5.5, "total": 9.5}),
+        cell(batch_size=16, shards=1),
+        cell(dist="zipf", batch_size=1, shards=1),
+        cell(batch_size=1, shards=4, structure="sharded"),
+    ]}
+    base, cand = cells_of(v4), cells_of(v5)
+    shared = set(base) & set(cand)
+    assert len(shared) == 3, \
+        "expected all 3 v4 cells to join v5 shards=1 cells, got %d" % \
+        len(shared)
+    si = JOIN_KEY.index("shards")
+    assert all(k[si] == 1 for k in shared), "v4 cells must join as shards=1"
+    unmatched = set(cand) - set(base)
+    assert len(unmatched) == 1 and next(iter(unmatched))[si] == 4, \
+        "the shards=4 cell must NOT join any v4 cell"
+    # --max-shards filtering keeps only shards <= N.
+    kept = [k for k in cand if k[si] is not None and k[si] <= 1]
+    assert len(kept) == 3, "--max-shards 1 must drop exactly the 4-shard cell"
+    # Joined metrics compare the same named counters on both sides.
+    joined_key = next(k for k in shared if k[JOIN_KEY.index("dist")] ==
+                      "uniform" and k[JOIN_KEY.index("batch_size")] == 1)
+    mb, mc = metrics_of(base[joined_key]), metrics_of(cand[joined_key])
+    assert mb["steps_per_op.search"] == 5.0
+    assert abs(mc["steps_per_op.search"] - 5.5) < 1e-9
+    assert "steps.node_hops/op" in mb and "steps.node_hops/op" in mc
+    print("compare_bench --self-test: ok (join v4->v5, shards default, "
+          "--max-shards filter)")
+    return 0
 
 
 def metrics_of(cell):
@@ -84,8 +142,10 @@ def main():
     ap = argparse.ArgumentParser(
         description="diff two BENCH_suite.json files on steps/op and "
                     "probe counters")
-    ap.add_argument("baseline", help="older suite JSON")
-    ap.add_argument("candidate", help="newer suite JSON")
+    ap.add_argument("baseline", nargs="?", help="older suite JSON")
+    ap.add_argument("candidate", nargs="?", help="newer suite JSON")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in join unit test and exit")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative worsening that counts as a regression "
                          "(default 0.10 = 10%%)")
@@ -100,10 +160,19 @@ def main():
                          "thread step counts vary with interleaving and "
                          "host parallelism; single-thread cells are "
                          "deterministic up to cell order)")
+    ap.add_argument("--max-shards", type=int, default=None,
+                    help="only compare cells with shards <= N (multi-shard "
+                         "service cells interleave across workers; the "
+                         "shards=1 cells are the deterministic ones)")
     ap.add_argument("--top", type=int, default=20,
                     help="show at most N worst regressions / best "
                          "improvements (default 20)")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.candidate is None:
+        ap.error("baseline and candidate are required unless --self-test")
 
     base_doc, base = load_cells(args.baseline)
     cand_doc, cand = load_cells(args.candidate)
@@ -113,6 +182,10 @@ def main():
         ti = JOIN_KEY.index("threads")
         shared = [k for k in shared
                   if k[ti] is not None and k[ti] <= args.max_threads]
+    if args.max_shards is not None:
+        si = JOIN_KEY.index("shards")
+        shared = [k for k in shared
+                  if k[si] is not None and k[si] <= args.max_shards]
     if not shared:
         print("compare_bench: no joinable cells between %s and %s "
               "(different axes?)" % (args.baseline, args.candidate))

@@ -22,6 +22,13 @@
 //                     the intra-window reordering grouping implies; see
 //                     WorkloadConfig::batch_size) — the amortization read
 //                     is hops+probes per key at batch_size = n vs 1.
+//   bytes16           key-traits widening (DESIGN.md §6): the same u64 key
+//                     stream run through the u64 fast path and through
+//                     BasicSkipTrie<Bytes16Traits> (128-bit ikeys, keys
+//                     spread order-preserving into the 120-bit encoded
+//                     space).  Matched cells differ only in `key_kind`, so
+//                     the step delta is the measured cost of W-widening —
+//                     the log log u story's other direction.
 //   service           the queued Service front-end (DESIGN.md §4.3) under
 //                     the client simulator (hot-tenant zipf, bursty
 //                     arrivals): --shards x client counts; steps merge the
@@ -108,6 +115,16 @@ struct BatchPoint {
   double reuse_rate = 0.0;           // cursor_reuses / (reuses + redescends)
 };
 
+struct Bytes16Point {
+  std::string mix;
+  uint32_t threads = 0;
+  double u64_steps = 0.0;      // search steps/op, u64 fast path
+  double bytes16_steps = 0.0;  // search steps/op, 128-bit instantiation
+  double ratio() const {
+    return u64_steps > 0.0 ? bytes16_steps / u64_steps : 0.0;
+  }
+};
+
 struct ServicePoint {
   uint32_t shards = 0;
   uint32_t clients = 0;
@@ -134,6 +151,7 @@ void write_service_cell(JsonWriter& j, uint32_t bits, uint32_t shards,
   j.kv("dist", "zipf");
   j.kv("batch_size", cfg.ops_per_request);
   j.kv("shards", shards);
+  j.kv("key_kind", "u64");  // the service front-end runs the fast path
   j.kv("key_space", cfg.key_space);
   j.kv("prefill", cfg.prefill);
   j.kv("seed", cfg.seed);
@@ -177,6 +195,8 @@ int main(int argc, char** argv) {
         "            [--ops TOTAL_PER_CELL] [--prefill N] [--scaling-ops N]\n"
         "            [--batch-sizes 1,16,256] [--batch-bits B]\n"
         "            [--batch-space N] [--batch-prefill N]  (batch section)\n"
+        "            [--bytes16-bits B] [--bytes16-threads 1,2]\n"
+        "            [--bytes16-mixes a,b]  (bytes16 section)\n"
         "            [--shards 1,2,4] [--service-clients 1,2,4]\n"
         "            [--service-requests N] [--service-ops N]\n"
         "            [--service-burst N] [--service-prefill N]\n"
@@ -218,6 +238,15 @@ int main(int argc, char** argv) {
   // full-universe regime is ROADMAP-documented rather than swept.
   const uint64_t batch_space = args.get_u64("--batch-space", 2048);
   const uint64_t batch_prefill = args.get_u64("--batch-prefill", 512);
+  // Bytes16 section axes: the stream's universe bits (the wide trie itself
+  // always runs the 120-bit spread universe), submitter threads and mixes.
+  const uint32_t bytes16_bits =
+      static_cast<uint32_t>(args.get_u64("--bytes16-bits", 32));
+  std::vector<uint32_t> bytes16_threads =
+      split_csv_u32(args.get("--bytes16-threads", quick ? "1" : "1,2"));
+  std::vector<std::string> bytes16_mix_names = split_csv(
+      args.get("--bytes16-mixes",
+               quick ? "balanced" : "read_only,balanced,write_heavy"));
   // Service section axes.  Power-of-two shard counts only (routing is by
   // key prefix); the clients axis is separate from --threads because the
   // service adds a worker thread per shard on top of the submitters.
@@ -298,6 +327,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_suite: --batch-bits must be 4..64\n");
     return 1;
   }
+  if (bytes16_bits < 4 || bytes16_bits > 64) {
+    std::fprintf(stderr, "bench_suite: --bytes16-bits must be 4..64\n");
+    return 1;
+  }
+  for (const uint32_t t : bytes16_threads) {
+    if (t == 0 || t > 256) {
+      std::fprintf(stderr, "bench_suite: bad bytes16 thread count %u\n", t);
+      return 1;
+    }
+  }
+  std::vector<NamedMix> bytes16_mixes;
+  for (const std::string& name : bytes16_mix_names) {
+    bool found = false;
+    for (const NamedMix& m : all_mixes()) {
+      if (name == m.name) {
+        bytes16_mixes.push_back(m);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "bench_suite: unknown bytes16 mix '%s'\n",
+                   name.c_str());
+      return 1;
+    }
+  }
   for (const uint32_t bs : batch_sizes) {
     if (bs == 0 || bs > (1u << 20)) {
       std::fprintf(stderr, "bench_suite: bad batch size %u\n", bs);
@@ -341,6 +395,10 @@ int main(int argc, char** argv) {
   j.kv("batch_prefill", batch_prefill);
   j.key("batch_sizes").begin_array();
   for (const uint32_t bs : batch_sizes) j.value(static_cast<uint64_t>(bs));
+  j.end_array();
+  j.kv("bytes16_bits", bytes16_bits);
+  j.key("bytes16_threads").begin_array();
+  for (const uint32_t t : bytes16_threads) j.value(static_cast<uint64_t>(t));
   j.end_array();
   j.kv("service_bits", service_bits);
   j.kv("service_requests_per_client", static_cast<uint64_t>(service_requests));
@@ -520,7 +578,48 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Section 4: service front-end ----------------------------------------
+  // --- Section 4: key-traits widening (u64 vs bytes16) ---------------------
+  // Matched pairs: the cell seed ignores key_kind, so the u64 cell and the
+  // bytes16 cell run the identical (key, op) stream; the bytes16 cell maps
+  // it order-preserving into the 120-bit encoded universe.  Hit counts must
+  // agree; the search-step ratio is the measured cost of W = 64 -> 128
+  // (about log log 2^120 / log log u_stream more trie levels, DESIGN.md §6).
+  std::vector<Bytes16Point> bytes16_pts;
+  for (size_t mi = 0; mi < bytes16_mixes.size(); ++mi) {
+    for (const uint32_t threads : bytes16_threads) {
+      Bytes16Point pt;
+      pt.mix = bytes16_mixes[mi].name;
+      pt.threads = threads;
+      for (const char* kind : {"u64", "bytes16"}) {
+        CellSpec spec;
+        spec.section = "bytes16";
+        spec.structure = "skiptrie";
+        spec.mix_name = bytes16_mixes[mi].name;
+        spec.universe_bits = bytes16_bits;  // the *stream's* universe
+        spec.key_kind = kind;
+        spec.wc.threads = threads;
+        spec.wc.ops_per_thread = std::max<uint64_t>(grid_ops / threads, 1);
+        spec.wc.mix = bytes16_mixes[mi].mix;
+        spec.wc.dist = KeyDist::kUniform;
+        spec.wc.key_space = bench_key_space(bytes16_bits);
+        spec.wc.prefill =
+            std::min<uint64_t>(grid_prefill, spec.wc.key_space / 2);
+        spec.wc.seed = cell_seed(bytes16_bits, threads, mi + 128, 0, 0, 0);
+        spec.wc.latency_sample_every = latency_every;
+        const CellResult res = run_cell(spec);
+        write_cell(j, spec, res);
+        if (spec.key_kind == "u64") {
+          pt.u64_steps = res.r.search_steps_per_op();
+        } else {
+          pt.bytes16_steps = res.r.search_steps_per_op();
+        }
+        progress("bytes16");
+      }
+      bytes16_pts.push_back(pt);
+    }
+  }
+
+  // --- Section 5: service front-end ----------------------------------------
   // The client simulator against a live Service: per-shard queues + workers,
   // hot-tenant zipf traffic, bursty arrivals.  Each cell builds a fresh
   // Service (its workers die with it), runs the simulator, stops the
@@ -593,6 +692,19 @@ int main(int argc, char** argv) {
   }
   j.end_array();
 
+  // Bytes16 digest: the W-widening step ratio per (mix, threads).
+  j.key("bytes16_summary").begin_array();
+  for (const Bytes16Point& pt : bytes16_pts) {
+    j.begin_object();
+    j.kv("mix", pt.mix);
+    j.kv("threads", pt.threads);
+    j.kv("u64_search_steps_per_op", pt.u64_steps);
+    j.kv("bytes16_search_steps_per_op", pt.bytes16_steps);
+    j.kv("widening_ratio", pt.ratio());
+    j.end_object();
+  }
+  j.end_array();
+
   // Service digest: throughput and queueing pressure by (shards, clients).
   j.key("service_summary").begin_array();
   for (const ServicePoint& pt : service_pts) {
@@ -629,6 +741,16 @@ int main(int argc, char** argv) {
       std::printf("%-10s %-12s %-10s %-8u %-12.1f %-10.2f\n",
                   pt.structure.c_str(), pt.mix.c_str(), pt.dist.c_str(),
                   pt.batch_size, pt.hops_probes_per_key, pt.reuse_rate);
+    }
+  }
+  if (!bytes16_pts.empty()) {
+    header("bench_suite: key-traits widening (search steps/op, same stream)");
+    std::printf("%-12s %-8s %-10s %-10s %-8s\n", "mix", "threads", "u64",
+                "bytes16", "ratio");
+    row_sep(52);
+    for (const Bytes16Point& pt : bytes16_pts) {
+      std::printf("%-12s %-8u %-10.1f %-10.1f %-8.2f\n", pt.mix.c_str(),
+                  pt.threads, pt.u64_steps, pt.bytes16_steps, pt.ratio());
     }
   }
   if (!service_pts.empty()) {

@@ -32,6 +32,7 @@
 #include "baseline/locked_map.h"
 #include "common/bitops.h"
 #include "common/json.h"
+#include "common/key_traits.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "core/skiptrie.h"
@@ -191,6 +192,11 @@ struct CellSpec {
   std::string mix_name = "balanced";
   uint32_t universe_bits = 32;
   uint32_t shards = 1;            // "sharded"/"service" cells only (v5 axis)
+  // Key-traits instantiation driving the cell (v6 axis, DESIGN.md §6):
+  // "u64" is the fast path; "bytes16" runs the same u64 key stream through
+  // BasicSkipTrie<Bytes16Traits> via an order-preserving spread into the
+  // 120-bit encoded space, so the cell delta is pure W-widening cost.
+  std::string key_kind = "u64";
   uint32_t repeat = 0;            // repeat index within identical specs
   WorkloadConfig wc;
 };
@@ -207,9 +213,60 @@ inline uint32_t skiplist_levels_for(uint64_t n) {
   return ceil_log2(n < 2 ? 2 : n) + 2;
 }
 
+// Drives the 128-bit instantiation with the driver's u64 key stream via the
+// order-preserving injection k -> k << 56 (recoverable by >> 56): the wide
+// trie then holds keys in a 120-bit universe whose order matches the u64
+// stream exactly, so hit counts agree with the matched u64 cell and every
+// step delta is W-widening cost (deeper prefix walks, wider compares), not
+// workload drift.  No batch API on purpose — HasBatchApi fails and batched
+// configs fall back to the per-key loop.
+class Bytes16WorkloadAdapter {
+ public:
+  static constexpr uint32_t kSpread = 56;
+  static constexpr uint32_t kUniverseBits = 64 + kSpread;
+
+  Bytes16WorkloadAdapter() : trie_([] {
+    Config c;
+    c.universe_bits = kUniverseBits;
+    return c;
+  }()) {}
+
+  bool insert(uint64_t k) { return trie_.insert(wide(k)); }
+  bool erase(uint64_t k) { return trie_.erase(wide(k)); }
+  bool contains(uint64_t k) const { return trie_.contains(wide(k)); }
+  std::optional<uint64_t> predecessor(uint64_t k) const {
+    const auto p = trie_.predecessor(wide(k));
+    if (!p) return std::nullopt;
+    return static_cast<uint64_t>(*p >> kSpread);
+  }
+
+  const BasicSkipTrie<Bytes16Traits>& trie() const { return trie_; }
+
+ private:
+  static u128 wide(uint64_t k) { return u128(k) << kSpread; }
+  BasicSkipTrie<Bytes16Traits> trie_;
+};
+
 inline CellResult run_cell(const CellSpec& spec) {
   CellResult res;
-  if (spec.structure == "skiptrie") {
+  if (spec.structure == "skiptrie" && spec.key_kind == "bytes16") {
+    Bytes16WorkloadAdapter a;
+    res.r = run_workload(a, spec.wc);
+    // The wide trie's StructureStats is a distinct nested type (deeper
+    // level_counts); copy the scalar fields the emitter reports.
+    const auto st = a.trie().structure_stats();
+    res.stats.keys = st.keys;
+    res.stats.top_count = st.top_count;
+    res.stats.trie_entries = st.trie_entries;
+    res.stats.avg_top_gap = st.avg_top_gap;
+    res.stats.max_top_gap = st.max_top_gap;
+    res.stats.arena_bytes = st.arena_bytes;
+    res.stats.trie_bytes = st.trie_bytes;
+    res.stats.hash_buckets = st.hash_buckets;
+    res.stats.hash_dummies = st.hash_dummies;
+    res.stats.hash_load_factor = st.hash_load_factor;
+    res.has_structure_stats = true;
+  } else if (spec.structure == "skiptrie") {
     Config cfg;
     cfg.universe_bits = spec.universe_bits;
     SkipTrie t(cfg);
@@ -291,9 +348,16 @@ inline std::string git_rev(const Args& args) {
 //       runs the client simulator against the queued Service front-end,
 //       and run_cell grows a "sharded" structure (ShardedEngine under the
 //       plain workload driver).  Purely additive again.
+//   v6  key-traits generalization (PR 7, DESIGN.md §6): cells gain the
+//       `key_kind` axis ("u64" | "bytes16"; default "u64" — older files
+//       join as key_kind = "u64") naming the KeyTraits instantiation that
+//       ran the cell, and a new "bytes16" section replays matched u64 key
+//       streams through BasicSkipTrie<Bytes16Traits> (128-bit ikeys) so the
+//       u64-vs-bytes16 cell delta isolates W-widening cost.  Purely
+//       additive again.
 inline void write_suite_header(JsonWriter& j, const char* suite,
                                const std::string& rev, bool quick) {
-  j.kv("schema_version", 5);
+  j.kv("schema_version", 6);
   j.kv("suite", suite);
   j.kv("git_rev", rev);
   j.kv("timestamp_utc", iso8601_utc_now());
@@ -359,7 +423,7 @@ inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
 
 // One record per measured cell; keys stable across suites so files from two
 // revisions can be joined on (section, structure, universe_bits, threads,
-// mix, dist, batch_size, shards, repeat).
+// mix, dist, batch_size, shards, key_kind, repeat).
 inline void write_cell(JsonWriter& j, const CellSpec& spec,
                        const CellResult& res) {
   const WorkloadResult& r = res.r;
@@ -372,6 +436,7 @@ inline void write_cell(JsonWriter& j, const CellSpec& spec,
   j.kv("dist", key_dist_name(spec.wc.dist));
   j.kv("batch_size", spec.wc.batch_size);
   j.kv("shards", spec.shards);
+  j.kv("key_kind", spec.key_kind);
   j.kv("key_space", spec.wc.key_space);
   j.kv("prefill", spec.wc.prefill);
   j.kv("seed", spec.wc.seed);
@@ -435,6 +500,7 @@ inline void write_micro_cell(JsonWriter& j, const char* section,
   j.kv("name", name);
   j.kv("structure", structure);
   j.kv("universe_bits", bits);
+  j.kv("key_kind", "u64");  // micro benches all run the fast path
   j.kv("size", size);
   j.kv("ops", m.ops);
   j.kv("ns_per_op", m.ns_per_op);

@@ -1,24 +1,38 @@
-// Example: concurrent IP longest-prefix-match routing table.
+// Example: concurrent longest-prefix-match routing over real 128-bit keys.
 //
 //   build/examples/ip_router
 //
-// Classic predecessor-query application (and the kind of workload the
-// paper's u=2^32 motivation describes): each route covers an address range
-// [base, base + 2^(32-len)); storing range *starts* keyed by IPv4 address
-// lets predecessor(addr) find the candidate route in O(log log u) steps,
-// while route flaps (insert/erase) run concurrently with lookups.
+// The classic predecessor-query application, now on the wide key universe
+// (Bytes16Traits, DESIGN.md §6): routes are genuine IPv6 prefixes plus
+// IPv4-mapped ::ffff:a.b.c.d prefixes (RFC 4291), encoded order-preserving
+// into 128-bit ikeys by common/key_codec.h, and a lookup is ONE predecessor
+// query on a BasicSkipTrie<Bytes16Traits> — O(log log u + c) steps with
+// u = 2^128.
 //
-// This simplified variant stores disjoint covering ranges (as produced by
-// de-aggregated FIBs); a production LPM would chain to shorter prefixes on
-// a range-end miss.
+// Longest-prefix match with *nested* prefixes is reduced to pure
+// predecessor search by interval flattening: sort every route boundary
+// (base and end of each prefix range), and for each elementary interval
+// between consecutive boundaries record the deepest covering route (or a
+// gap).  The interval starts tile the routed space, so
+// predecessor(addr) -> interval start -> next hop, with a range check for
+// the dynamic (disjoint, un-flattened) routes that flap concurrently.
+//
+// The example is self-checking: every static lookup is verified against a
+// brute-force LPM scan over the route list, quiescently and *during* route
+// flaps; any mismatch fails the process (it runs under ctest as
+// example_ip_router).
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <inttypes.h>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/key_codec.h"
+#include "common/key_traits.h"
 #include "common/random.h"
 #include "core/skiptrie.h"
 
@@ -26,49 +40,124 @@ using namespace skiptrie;
 
 namespace {
 
-uint64_t ip(uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
-  return (static_cast<uint64_t>(a) << 24) | (b << 16) | (c << 8) | d;
+using WideTrie = BasicSkipTrie<Bytes16Traits>;
+
+struct Route {
+  u128 base;      // encoded address with host bits zero
+  uint32_t plen;  // prefix length in the 128-bit space
+  int nexthop;
+};
+
+u128 v6(uint16_t g0, uint16_t g1, uint16_t g2, uint16_t g3, uint16_t g4,
+        uint16_t g5, uint16_t g6, uint16_t g7) {
+  uint8_t b[16];
+  const uint16_t g[8] = {g0, g1, g2, g3, g4, g5, g6, g7};
+  for (int i = 0; i < 8; ++i) {
+    b[2 * i] = static_cast<uint8_t>(g[i] >> 8);
+    b[2 * i + 1] = static_cast<uint8_t>(g[i]);
+  }
+  return encode_ipv6(b);
 }
 
-std::string ip_str(uint64_t v) {
-  char buf[20];
-  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u",
-                static_cast<unsigned>(v >> 24) & 255,
-                static_cast<unsigned>(v >> 16) & 255,
-                static_cast<unsigned>(v >> 8) & 255,
-                static_cast<unsigned>(v) & 255);
+u128 v4(uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
+  return encode_ipv4_mapped((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+// A v4 /len is a /(96+len) in the mapped space.
+constexpr uint32_t v4len(uint32_t len) { return 96 + len; }
+
+u128 span_of(uint32_t plen) { return u128(1) << (128 - plen); }
+
+std::string addr_str(u128 x) {
+  char buf[64];
+  if (is_ipv4_mapped(x)) {
+    const uint32_t v = static_cast<uint32_t>(u128_lo(x));
+    std::snprintf(buf, sizeof buf, "::ffff:%u.%u.%u.%u", (v >> 24) & 255,
+                  (v >> 16) & 255, (v >> 8) & 255, v & 255);
+  } else {
+    uint8_t b[16];
+    decode_ipv6(x, b);
+    std::snprintf(buf, sizeof buf, "%x:%x:%x:%x:%x:%x:%x:%x",
+                  (b[0] << 8) | b[1], (b[2] << 8) | b[3], (b[4] << 8) | b[5],
+                  (b[6] << 8) | b[7], (b[8] << 8) | b[9], (b[10] << 8) | b[11],
+                  (b[12] << 8) | b[13], (b[14] << 8) | b[15]);
+  }
   return buf;
 }
 
-// Route metadata lives beside the SkipTrie (which is a set of range starts).
+// Reference answer: scan all routes, keep the longest covering prefix.
+int brute_force_lpm(const std::vector<Route>& routes, u128 addr) {
+  int hop = -1;
+  uint32_t best = 0;
+  for (const Route& r : routes) {
+    if (addr >= r.base && addr - r.base < span_of(r.plen) &&
+        (hop == -1 || r.plen > best)) {
+      hop = r.nexthop;
+      best = r.plen;
+    }
+  }
+  return hop;
+}
+
+// Route metadata lives beside the SkipTrie (which is a set of interval
+// starts in the encoded 128-bit space).
 struct RouteTable {
-  SkipTrie starts;
+  WideTrie starts;
   std::mutex meta_mu;
-  std::map<uint64_t, std::pair<uint64_t, int>> meta;  // start -> (end, nexthop)
+  std::map<u128, std::pair<u128, int>> meta;  // start -> (end, nexthop)
 
-  explicit RouteTable() : starts([] {
-    Config c;
-    c.universe_bits = 32;
-    return c;
-  }()) {}
+  RouteTable()
+      : starts([] {
+          Config c;
+          c.universe_bits = 128;
+          return c;
+        }()) {}
 
-  void add_route(uint64_t base, uint32_t plen, int nexthop) {
-    const uint64_t span = 1ull << (32 - plen);
+  // Flatten a static (possibly nested) route set into disjoint elementary
+  // intervals, each tagged with its deepest covering route, and insert
+  // every interval start.  Gap intervals get nexthop -1 so a predecessor
+  // landing in them answers "no route" instead of leaking the previous
+  // route's hop.
+  void load_static(const std::vector<Route>& routes) {
+    std::vector<u128> bounds;
+    for (const Route& r : routes) {
+      bounds.push_back(r.base);
+      bounds.push_back(r.base + span_of(r.plen));
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+      add_interval(bounds[i], bounds[i + 1],
+                   brute_force_lpm(routes, bounds[i]));
+    }
+    if (!bounds.empty()) {
+      // Everything at and above the last boundary is unrouted.
+      add_interval(bounds.back(), Bytes16Traits::ikey_max() - u128(2), -1);
+    }
+  }
+
+  void add_interval(u128 base, u128 end, int nexthop) {
     {
       std::lock_guard<std::mutex> lk(meta_mu);
-      meta[base] = {base + span, nexthop};
+      meta[base] = {end, nexthop};
     }
     starts.insert(base);
   }
 
-  void del_route(uint64_t base) {
+  // Dynamic routes flap as whole prefixes; callers must keep them disjoint
+  // from every static route (production would re-flatten or chain).
+  void add_route(u128 base, uint32_t plen, int nexthop) {
+    add_interval(base, base + span_of(plen), nexthop);
+  }
+
+  void del_route(u128 base) {
     starts.erase(base);
     std::lock_guard<std::mutex> lk(meta_mu);
     meta.erase(base);
   }
 
-  // Lookup = predecessor query + range check.
-  int lookup(uint64_t addr) {
+  // Lookup = one predecessor query + range check.
+  int lookup(u128 addr) {
     const auto s = starts.predecessor(addr);
     if (!s) return -1;
     std::lock_guard<std::mutex> lk(meta_mu);
@@ -83,28 +172,79 @@ struct RouteTable {
 int main() {
   RouteTable rt;
 
-  // A small FIB: disjoint /16 and /24 ranges.
-  rt.add_route(ip(10, 0, 0, 0), 16, 1);     // 10.0/16      -> if1
-  rt.add_route(ip(10, 1, 0, 0), 16, 2);     // 10.1/16      -> if2
-  rt.add_route(ip(192, 168, 1, 0), 24, 3);  // 192.168.1/24 -> if3
-  rt.add_route(ip(192, 168, 2, 0), 24, 4);  // 192.168.2/24 -> if4
+  // A static FIB with real nesting: the /48 sits inside the /32, the /56
+  // inside the /48; the v4-mapped /16 sits inside the /8.  Flattening must
+  // tile these into disjoint intervals with the deepest route winning.
+  const std::vector<Route> fib = {
+      {v6(0x2001, 0xdb8, 0, 0, 0, 0, 0, 0), 32, 1},
+      {v6(0x2001, 0xdb8, 0xaaaa, 0, 0, 0, 0, 0), 48, 2},
+      {v6(0x2001, 0xdb8, 0xaaaa, 0xbb00, 0, 0, 0, 0), 56, 3},
+      {v6(0x2600, 0, 0, 0, 0, 0, 0, 0), 12, 4},
+      {v4(10, 0, 0, 0), v4len(8), 5},
+      {v4(10, 1, 0, 0), v4len(16), 6},
+      {v4(192, 168, 1, 0), v4len(24), 7},
+  };
+  rt.load_static(fib);
 
-  std::printf("one-shot lookups:\n");
-  for (uint64_t a : {ip(10, 0, 3, 7), ip(10, 1, 200, 9), ip(192, 168, 1, 77),
-                     ip(192, 168, 3, 1), ip(8, 8, 8, 8)}) {
-    std::printf("  %-16s -> nexthop %d\n", ip_str(a).c_str(), rt.lookup(a));
+  std::printf("one-shot lookups (nested static FIB):\n");
+  const std::vector<u128> probes = {
+      v6(0x2001, 0xdb8, 1, 2, 3, 4, 5, 6),          // /32 only      -> 1
+      v6(0x2001, 0xdb8, 0xaaaa, 0x0001, 0, 0, 0, 9),// /48 beats /32 -> 2
+      v6(0x2001, 0xdb8, 0xaaaa, 0xbb42, 0, 0, 0, 1),// /56 deepest   -> 3
+      v6(0x2001, 0xdb9, 0, 0, 0, 0, 0, 0),          // outside /32   -> -1
+      v6(0x2607, 0xf8b0, 0, 0, 0, 0, 0, 0x200e),    // 2600::/12     -> 4
+      v4(10, 7, 3, 9),                              // 10/8          -> 5
+      v4(10, 1, 200, 9),                            // 10.1/16 wins  -> 6
+      v4(192, 168, 1, 77),                          // /24           -> 7
+      v4(192, 168, 3, 1),                           // gap           -> -1
+      v4(8, 8, 8, 8),                               // gap           -> -1
+  };
+  int mismatches = 0;
+  for (const u128 a : probes) {
+    const int got = rt.lookup(a);
+    const int want = brute_force_lpm(fib, a);
+    if (got != want) ++mismatches;
+    std::printf("  %-28s -> nexthop %d%s\n", addr_str(a).c_str(), got,
+                got == want ? "" : "  [MISMATCH]");
   }
 
-  // Concurrent phase: route flaps while lookup threads hammer the table.
+  // Exhaustive self-check at every route corner: base-1, base, base+1,
+  // mid, end-1, end for every prefix, plus a pseudo-random spray.
+  std::vector<u128> checks;
+  for (const Route& r : fib) {
+    const u128 end = r.base + span_of(r.plen);
+    checks.push_back(r.base - u128(1));
+    checks.push_back(r.base);
+    checks.push_back(r.base + u128(1));
+    checks.push_back(r.base + (span_of(r.plen) >> 1));
+    checks.push_back(end - u128(1));
+    checks.push_back(end);
+  }
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const Route& r = fib[rng.next_below(fib.size())];
+    checks.push_back(r.base + (u128(rng.next()) % (span_of(r.plen) * 2)));
+  }
+  for (const u128 a : checks) {
+    if (rt.lookup(a) != brute_force_lpm(fib, a)) ++mismatches;
+  }
+  std::printf("quiescent self-check: %zu probes, %d mismatches\n",
+              checks.size(), mismatches);
+
+  // Concurrent phase: dynamic v4-mapped /24 routes in 172.16/16 (disjoint
+  // from the static FIB) flap while lookup threads hammer both the static
+  // and dynamic spaces.  Static answers are verified against brute force
+  // *during* the flaps — the static intervals never change, so every
+  // static lookup must stay exact under full concurrency.
   std::atomic<bool> stop{false};
-  std::atomic<uint64_t> lookups{0}, hits{0};
+  std::atomic<uint64_t> lookups{0}, hits{0}, bad{0};
   std::thread flapper([&] {
-    Xoshiro256 rng(1);
+    Xoshiro256 frng(1);
     while (!stop.load(std::memory_order_acquire)) {
-      const uint32_t third = 10 + rng.next_below(200);
-      const uint64_t base = ip(172, 16, third, 0);
-      rt.add_route(base, 24, static_cast<int>(third));
-      if (rng.next() & 1) rt.del_route(base);
+      const uint32_t third = 10 + frng.next_below(200);
+      const u128 base = v4(172, 16, third, 0);
+      rt.add_route(base, v4len(24), static_cast<int>(third));
+      if (frng.next() & 1) rt.del_route(base);
     }
   });
   std::vector<std::thread> lookers;
@@ -112,15 +252,29 @@ int main() {
       std::max(1u, std::thread::hardware_concurrency() - 1);
   for (unsigned i = 0; i < n_lookers; ++i) {
     lookers.emplace_back([&, i] {
-      Xoshiro256 rng(100 + i);
-      for (int q = 0; q < 200000; ++q) {
-        const uint64_t addr =
-            (rng.next() & 1) ? ip(172, 16, 10 + rng.next_below(200),
-                                  rng.next_below(256))
-                             : ip(10, rng.next_below(2), rng.next_below(256),
-                                  rng.next_below(256));
+      Xoshiro256 lrng(100 + i);
+      for (int q = 0; q < 100000; ++q) {
         lookups.fetch_add(1, std::memory_order_relaxed);
-        if (rt.lookup(addr) >= 0) hits.fetch_add(1, std::memory_order_relaxed);
+        if (lrng.next() & 1) {
+          // Dynamic space: a hit must name the flapper's encoding (hop ==
+          // third octet); a miss is legal mid-flap.
+          const uint32_t third = 10 + lrng.next_below(200);
+          const int hop = rt.lookup(v4(172, 16, third, lrng.next_below(256)));
+          if (hop >= 0) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            if (hop != static_cast<int>(third)) {
+              bad.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        } else {
+          // Static space: exact answer required even during flaps.
+          const u128 a = checks[lrng.next_below(checks.size())];
+          const int hop = rt.lookup(a);
+          if (hop >= 0) hits.fetch_add(1, std::memory_order_relaxed);
+          if (hop != brute_force_lpm(fib, a)) {
+            bad.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
       }
     });
   }
@@ -129,9 +283,16 @@ int main() {
   flapper.join();
 
   std::printf("\nconcurrent phase: %" PRIu64 " lookups, %" PRIu64
-              " hits, during continuous route flaps\n",
-              lookups.load(), hits.load());
-  std::printf("table now holds %zu range starts; structure intact\n",
-              rt.starts.size());
+              " hits, %" PRIu64 " bad answers, during continuous route "
+              "flaps\n",
+              lookups.load(), hits.load(), bad.load());
+  std::printf("table now holds %zu interval starts (128-bit universe, "
+              "%u-bit keys)\n",
+              rt.starts.size(), rt.starts.universe_bits());
+  if (mismatches != 0 || bad.load() != 0) {
+    std::printf("SELF-CHECK FAILED\n");
+    return 1;
+  }
+  std::printf("self-check passed\n");
   return 0;
 }

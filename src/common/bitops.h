@@ -1,15 +1,22 @@
 // Bit and prefix arithmetic for the x-fast trie.
 //
-// Keys are B-bit integers (`B = Config::universe_bits`, 4..64) stored in the
-// low B bits of a uint64_t.  Bit index i (0-based) counts from the most
-// significant of the B bits, so bit 0 is the root branching decision of the
-// prefix tree.  A prefix of length L is the top L bits of the key; it is
-// encoded into a single uint64_t with a leading 1 ("1-prefixed" encoding) so
-// that (bits, length) pairs of every length 0..63 map to distinct integers:
+// Keys are B-bit integers (`B = Config::universe_bits`, 4..W where W is the
+// key-traits universe width, 64 or 128) stored in the low B bits of an ikey
+// word.  Bit index i (0-based) counts from the most significant of the B
+// bits, so bit 0 is the root branching decision of the prefix tree.  A
+// prefix of length L is the top L bits of the key; it is encoded into a
+// single ikey with a leading 1 ("1-prefixed" encoding) so that
+// (bits, length) pairs of every length 0..W-1 map to distinct integers:
 //
 //   encode(key, L, B) = (1 << L) | (key >> (B - L))
 //
-// Trie prefixes always have L <= B-1 <= 63, so the encoding never overflows.
+// Trie prefixes always have L <= B-1 <= W-1, so the encoding never
+// overflows the ikey word.
+//
+// The uint64_t functions are the seed fast path and are kept byte-for-byte
+// as they were; the `ikey_*` function templates generalize the same
+// arithmetic to any unsigned ikey word (uint64_t, unsigned __int128, or the
+// portable Uint128 fallback below) for KeyTraits instantiations at W > 64.
 #pragma once
 
 #include <cassert>
@@ -64,6 +71,204 @@ inline uint64_t abs_diff(uint64_t a, uint64_t b) { return a > b ? a - b : b - a;
 // Mask of the low `bits` bits (bits == 64 -> all ones).
 inline constexpr uint64_t universe_mask(uint32_t bits) {
   return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+}
+
+// ---------------------------------------------------------------------------
+// 128-bit ikey support (DESIGN.md §6).
+//
+// `u128` is the 128-bit ikey word: `unsigned __int128` where the compiler
+// provides it, else the portable `Uint128` struct below.  Uint128 is always
+// compiled (and unit-tested) so the fallback cannot rot on __int128 hosts.
+// ---------------------------------------------------------------------------
+
+// Portable 128-bit unsigned integer: exactly the operator set the engine
+// needs on an ikey word (compare, add/sub, shift, bitwise, one division in
+// DescentCursor::top_entry_usable).  Shift counts must be < 128.
+struct Uint128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  constexpr Uint128() = default;
+  constexpr Uint128(uint64_t v) : hi(0), lo(v) {}  // NOLINT: int-literal lift
+  constexpr Uint128(uint64_t h, uint64_t l) : hi(h), lo(l) {}
+
+  explicit constexpr operator uint64_t() const { return lo; }
+  explicit constexpr operator uint32_t() const {
+    return static_cast<uint32_t>(lo);
+  }
+  explicit constexpr operator bool() const { return (hi | lo) != 0; }
+
+  friend constexpr bool operator==(Uint128 a, Uint128 b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend constexpr bool operator!=(Uint128 a, Uint128 b) { return !(a == b); }
+  friend constexpr bool operator<(Uint128 a, Uint128 b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+  friend constexpr bool operator>(Uint128 a, Uint128 b) { return b < a; }
+  friend constexpr bool operator<=(Uint128 a, Uint128 b) { return !(b < a); }
+  friend constexpr bool operator>=(Uint128 a, Uint128 b) { return !(a < b); }
+
+  friend constexpr Uint128 operator~(Uint128 a) { return {~a.hi, ~a.lo}; }
+  friend constexpr Uint128 operator&(Uint128 a, Uint128 b) {
+    return {a.hi & b.hi, a.lo & b.lo};
+  }
+  friend constexpr Uint128 operator|(Uint128 a, Uint128 b) {
+    return {a.hi | b.hi, a.lo | b.lo};
+  }
+  friend constexpr Uint128 operator^(Uint128 a, Uint128 b) {
+    return {a.hi ^ b.hi, a.lo ^ b.lo};
+  }
+
+  friend constexpr Uint128 operator+(Uint128 a, Uint128 b) {
+    const uint64_t lo = a.lo + b.lo;
+    return {a.hi + b.hi + (lo < a.lo ? 1u : 0u), lo};
+  }
+  friend constexpr Uint128 operator-(Uint128 a, Uint128 b) {
+    return {a.hi - b.hi - (a.lo < b.lo ? 1u : 0u), a.lo - b.lo};
+  }
+
+  friend constexpr Uint128 operator<<(Uint128 a, uint32_t n) {
+    if (n == 0) return a;
+    if (n >= 64) return {a.lo << (n - 64), 0};
+    return {(a.hi << n) | (a.lo >> (64 - n)), a.lo << n};
+  }
+  friend constexpr Uint128 operator>>(Uint128 a, uint32_t n) {
+    if (n == 0) return a;
+    if (n >= 64) return {0, a.hi >> (n - 64)};
+    return {a.hi >> n, (a.hi << (64 - n)) | (a.lo >> n)};
+  }
+
+  // Schoolbook shift-subtract division; b must be nonzero.  Used once per
+  // cursor top-entry gate, never on a hot search path, so O(128) is fine.
+  friend constexpr Uint128 operator/(Uint128 a, Uint128 b) {
+    Uint128 q{0, 0}, r{0, 0};
+    for (int i = 127; i >= 0; --i) {
+      r = r << 1;
+      if (static_cast<uint64_t>((a >> static_cast<uint32_t>(i)).lo) & 1ull) {
+        r.lo |= 1ull;
+      }
+      if (r >= b) {
+        r = r - b;
+        if (i >= 64) {
+          q.hi |= 1ull << (i - 64);
+        } else {
+          q.lo |= 1ull << i;
+        }
+      }
+    }
+    return q;
+  }
+};
+
+#if defined(__SIZEOF_INT128__)
+#define SKIPTRIE_HAS_INT128 1
+using u128 = unsigned __int128;
+#else
+#define SKIPTRIE_HAS_INT128 0
+using u128 = Uint128;
+#endif
+
+// hi/lo/make accessors that work for both u128 representations (and are the
+// only place the representation difference is visible).
+inline constexpr uint64_t u128_hi(Uint128 v) { return v.hi; }
+inline constexpr uint64_t u128_lo(Uint128 v) { return v.lo; }
+inline constexpr Uint128 make_uint128(uint64_t hi, uint64_t lo) {
+  return Uint128{hi, lo};
+}
+#if SKIPTRIE_HAS_INT128
+inline constexpr uint64_t u128_hi(u128 v) {
+  return static_cast<uint64_t>(v >> 64);
+}
+inline constexpr uint64_t u128_lo(u128 v) { return static_cast<uint64_t>(v); }
+#endif
+inline constexpr u128 make_u128(uint64_t hi, uint64_t lo) {
+#if SKIPTRIE_HAS_INT128
+  return (static_cast<u128>(hi) << 64) | lo;
+#else
+  return Uint128{hi, lo};
+#endif
+}
+
+// Count of leading zeros of a nonzero 128-bit value.
+inline uint32_t clz128(Uint128 x) {
+  assert(x.hi != 0 || x.lo != 0);
+  return x.hi != 0 ? static_cast<uint32_t>(__builtin_clzll(x.hi))
+                   : 64u + static_cast<uint32_t>(__builtin_clzll(x.lo));
+}
+#if SKIPTRIE_HAS_INT128
+inline uint32_t clz128(u128 x) {
+  const uint64_t hi = u128_hi(x);
+  return hi != 0 ? static_cast<uint32_t>(__builtin_clzll(hi))
+                 : 64u + static_cast<uint32_t>(__builtin_clzll(u128_lo(x)));
+}
+#endif
+
+// Index of the most significant set bit (0 = least significant); x nonzero.
+inline uint32_t msb128(u128 x) { return 127u - clz128(x); }
+
+// ---------------------------------------------------------------------------
+// Width-generic ikey arithmetic.  `I` is uint64_t or u128; ikey_width<I>
+// derives the word width from the type.  The uint64_t specializations
+// compile to exactly the scalar functions above.
+// ---------------------------------------------------------------------------
+
+template <typename I>
+inline constexpr uint32_t ikey_width = static_cast<uint32_t>(sizeof(I) * 8);
+
+inline uint32_t ikey_clz(uint64_t x) {
+  return static_cast<uint32_t>(__builtin_clzll(x));
+}
+inline uint32_t ikey_clz(Uint128 x) { return clz128(x); }
+#if SKIPTRIE_HAS_INT128
+inline uint32_t ikey_clz(u128 x) { return clz128(x); }
+#endif
+
+template <typename I>
+inline constexpr I ikey_all_ones() {
+  return ~I(0);
+}
+
+// The i-th bit of `key` counting from the MSB of a B-bit universe.
+template <typename I>
+inline uint64_t ikey_bit(I key, uint32_t i, uint32_t bits) {
+  assert(i < bits);
+  return static_cast<uint64_t>((key >> (bits - 1 - i)) & I(1));
+}
+
+// Encode the length-`len` prefix of `key` (see file comment).
+template <typename I>
+inline I ikey_encode_prefix(I key, uint32_t len, uint32_t bits) {
+  assert(len <= ikey_width<I> - 1 && len < bits);
+  if (len == 0) return I(1);  // the root prefix (epsilon)
+  return (I(1) << len) | (key >> (bits - len));
+}
+
+template <typename I>
+inline bool ikey_prefix_matches(I encoded, I key, uint32_t len,
+                                uint32_t bits) {
+  return ikey_encode_prefix(key, len, bits) == encoded;
+}
+
+// Length of the longest common prefix of x and y within a B-bit universe.
+template <typename I>
+inline uint32_t ikey_lcp_length(I x, I y, uint32_t bits) {
+  I diff = x ^ y;
+  if (bits < ikey_width<I>) diff = diff & ((I(1) << bits) - I(1));
+  if (diff == I(0)) return bits;
+  const uint32_t highest = ikey_width<I> - 1 - ikey_clz(diff);
+  return bits - 1 - highest;
+}
+
+template <typename I>
+inline I ikey_abs_diff(I a, I b) {
+  return a > b ? a - b : b - a;
+}
+
+template <typename I>
+inline constexpr I ikey_universe_mask(uint32_t bits) {
+  return bits >= ikey_width<I> ? ikey_all_ones<I>()
+                               : ((I(1) << bits) - I(1));
 }
 
 }  // namespace skiptrie

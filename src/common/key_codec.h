@@ -1,0 +1,104 @@
+// Order-preserving codecs into the 128-bit universe (Bytes16Traits,
+// DESIGN.md §6).
+//
+// Bounded byte strings (length <= 15): the bytes pack big-endian,
+// left-aligned, into the high 120 bits of the ikey; the low 8 bits hold the
+// exact length.  Comparison of two encodings first compares the packed
+// bytes (zero-padded on the right), and falls through to the length byte
+// only when the padded bytes tie — which happens exactly when one string is
+// the other extended by NUL bytes, where the shorter string is the
+// lexicographically smaller.  Hence encode(a) < encode(b) iff a < b
+// bytewise (pinned by tests/key_codec_test.cpp), and the length byte makes
+// the encoding injective and exactly invertible.
+//
+// IPv6 / IPv4-mapped addresses: the raw 16 address bytes big-endian — the
+// identity order on addresses.  A (prefix, len) route key for
+// longest-prefix matching is the prefix's address bytes with the host bits
+// zeroed; see examples/ip_router.cpp for the interval construction that
+// turns predecessor queries into LPM.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/bitops.h"
+
+namespace skiptrie {
+
+// Longest byte string the bytes16 codec can carry: 120 bits of payload.
+inline constexpr size_t kBytes16MaxLen = 15;
+
+inline u128 encode_bytes16(const void* data, size_t len) {
+  assert(len <= kBytes16MaxLen);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t hi = 0, lo = 0;
+  for (size_t i = 0; i < len && i < 8; ++i) {
+    hi |= static_cast<uint64_t>(p[i]) << (56 - 8 * i);
+  }
+  for (size_t i = 8; i < len; ++i) {
+    lo |= static_cast<uint64_t>(p[i]) << (120 - 8 * i);
+  }
+  lo |= static_cast<uint64_t>(len);
+  return make_u128(hi, lo);
+}
+
+inline u128 encode_bytes16(std::string_view s) {
+  return encode_bytes16(s.data(), s.size());
+}
+
+// Writes up to kBytes16MaxLen bytes into `out`; returns the decoded length.
+inline size_t decode_bytes16(u128 ikey, void* out) {
+  const uint64_t hi = u128_hi(ikey), lo = u128_lo(ikey);
+  const size_t len = static_cast<size_t>(lo & 0xffull);
+  assert(len <= kBytes16MaxLen);
+  uint8_t* p = static_cast<uint8_t*>(out);
+  for (size_t i = 0; i < len && i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(hi >> (56 - 8 * i));
+  }
+  for (size_t i = 8; i < len; ++i) {
+    p[i] = static_cast<uint8_t>(lo >> (120 - 8 * i));
+  }
+  return len;
+}
+
+inline std::string decode_bytes16_str(u128 ikey) {
+  char buf[kBytes16MaxLen];
+  const size_t len = decode_bytes16(ikey, buf);
+  return std::string(buf, len);
+}
+
+// --- IPv6 / IPv4-mapped -----------------------------------------------------
+
+inline u128 encode_ipv6(const uint8_t addr[16]) {
+  uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | addr[i];
+    lo = (lo << 8) | addr[8 + i];
+  }
+  return make_u128(hi, lo);
+}
+
+inline void decode_ipv6(u128 ikey, uint8_t out[16]) {
+  const uint64_t hi = u128_hi(ikey), lo = u128_lo(ikey);
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>(hi >> (56 - 8 * i));
+    out[8 + i] = static_cast<uint8_t>(lo >> (56 - 8 * i));
+  }
+}
+
+// ::ffff:a.b.c.d — the IPv4-mapped IPv6 form (RFC 4291 §2.5.5.2), so v4 and
+// v6 routes live in one 128-bit universe with v4 order preserved.
+inline u128 encode_ipv4_mapped(uint32_t v4) {
+  return make_u128(0, 0x0000ffff00000000ull | v4);
+}
+
+inline bool is_ipv4_mapped(u128 ikey) {
+  return u128_hi(ikey) == 0 &&
+         (u128_lo(ikey) >> 32) == 0x0000ffffull;
+}
+
+}  // namespace skiptrie

@@ -28,15 +28,25 @@ inline uint64_t mix64(uint64_t x) {
 // compositions (ROADMAP "cross-run comparability").  Re-inserting an erased
 // key redraws the same height; the heights across *distinct* keys are still
 // i.i.d. fair-coin towers, which is all the skiplist analysis needs.
-inline uint32_t deterministic_height(uint64_t seed, uint64_t ikey,
-                                     uint32_t cap) {
-  uint64_t r = mix64(seed ^ mix64(ikey));
+// Pre-mixed variant for the KeyTraits seam (DESIGN.md §6): `mixed` is the
+// traits' height_mix(ikey) — for U64Traits exactly mix64(ikey), so
+// deterministic_height(seed, ikey, cap) ==
+// deterministic_height_mixed(seed, mix64(ikey), cap) bit for bit, and the
+// u64 fast path's heights (hence step counts) are unchanged by the refactor.
+inline uint32_t deterministic_height_mixed(uint64_t seed, uint64_t mixed,
+                                           uint32_t cap) {
+  uint64_t r = mix64(seed ^ mixed);
   uint32_t h = 0;
   while (h < cap && (r & 1ull)) {
     ++h;
     r >>= 1;
   }
   return h;
+}
+
+inline uint32_t deterministic_height(uint64_t seed, uint64_t ikey,
+                                     uint32_t cap) {
+  return deterministic_height_mixed(seed, mix64(ikey), cap);
 }
 
 class Xoshiro256 {

@@ -3,6 +3,12 @@
 // and linearizes exactly like its single-key counterpart; between keys the
 // cursor's retained nodes may be retired and recycled, which the reuse
 // screen (cursor.cpp) tolerates by construction.
+//
+// Explicit instantiation note: skiptrie.cpp carries the class-level
+// explicit instantiations of BasicSkipTrie (covering every member defined
+// there); this TU instantiates only the four batch members it defines, at
+// member-function granularity, so the two TUs never instantiate the same
+// entity twice.
 #include <algorithm>
 #include <cassert>
 #include <numeric>
@@ -13,40 +19,27 @@
 
 namespace skiptrie {
 
-namespace batch_detail {
-
-std::vector<uint32_t> sorted_order(const uint64_t* keys, size_t n) {
-  std::vector<uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  // Stable: duplicate keys keep their input order, so "first occurrence
-  // wins" semantics hold for insert/erase result reporting.
-  std::stable_sort(order.begin(), order.end(),
-                   [keys](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
-  return order;
-}
-
-}  // namespace batch_detail
-
-size_t SkipTrie::insert_batch(const uint64_t* keys, size_t n,
-                              uint8_t* results) {
+template <typename Traits>
+size_t BasicSkipTrie<Traits>::insert_batch(const key_type* keys, size_t n,
+                                           uint8_t* results) {
   if (n == 0) return 0;
   if (!cfg_.use_cursor_batching) {
-    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    return batch_detail::for_each_sorted(keys, n, [&](key_type k, uint32_t i) {
       const bool hit = insert(k);
       if (results != nullptr) results[i] = hit;
       return hit;
     });
   }
-  DescentCursor& cur = engine_.cursor();
-  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+  BasicDescentCursor<Traits>& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](key_type k, uint32_t i) {
     assert(k <= max_key());
     EbrDomain::Guard g(ebr_);
-    const uint64_t x = ikey_of(k);
+    const Ikey x = ikey_of(k);
     TrieStartEnv env{&trie_, k};
     // cold_min_level = top: a batch keeps every retained row descent-fresh
     // (never a bare level head), so later keys of any tower height can
     // reuse brackets below their height (see cursor.h).
-    const SkipListEngine::InsertResult r = engine_.cursor_insert(
+    const typename Engine::InsertResult r = engine_.cursor_insert(
         cur, x, tower_height(x), engine_.top_level(), &trie_start, &env);
     const bool hit = finish_insert(k, r);
     if (results != nullptr) results[i] = hit;
@@ -54,23 +47,24 @@ size_t SkipTrie::insert_batch(const uint64_t* keys, size_t n,
   });
 }
 
-size_t SkipTrie::erase_batch(const uint64_t* keys, size_t n,
-                             uint8_t* results) {
+template <typename Traits>
+size_t BasicSkipTrie<Traits>::erase_batch(const key_type* keys, size_t n,
+                                          uint8_t* results) {
   if (n == 0) return 0;
   if (!cfg_.use_cursor_batching) {
-    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    return batch_detail::for_each_sorted(keys, n, [&](key_type k, uint32_t i) {
       const bool hit = erase(k);
       if (results != nullptr) results[i] = hit;
       return hit;
     });
   }
-  DescentCursor& cur = engine_.cursor();
-  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+  BasicDescentCursor<Traits>& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](key_type k, uint32_t i) {
     assert(k <= max_key());
     EbrDomain::Guard g(ebr_);
-    const uint64_t x = ikey_of(k);
+    const Ikey x = ikey_of(k);
     TrieStartEnv env{&trie_, k};
-    const SkipListEngine::EraseResult r =
+    const typename Engine::EraseResult r =
         engine_.cursor_erase(cur, x, &trie_start, &env);
     const bool hit = finish_erase(k, r);
     if (results != nullptr) results[i] = hit;
@@ -78,23 +72,24 @@ size_t SkipTrie::erase_batch(const uint64_t* keys, size_t n,
   });
 }
 
-size_t SkipTrie::contains_batch(const uint64_t* keys, size_t n,
-                                uint8_t* results) const {
+template <typename Traits>
+size_t BasicSkipTrie<Traits>::contains_batch(const key_type* keys, size_t n,
+                                             uint8_t* results) const {
   if (n == 0) return 0;
   if (!cfg_.use_cursor_batching) {
-    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+    return batch_detail::for_each_sorted(keys, n, [&](key_type k, uint32_t i) {
       const bool hit = contains(k);
       if (results != nullptr) results[i] = hit;
       return hit;
     });
   }
-  DescentCursor& cur = engine_.cursor();
-  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+  BasicDescentCursor<Traits>& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](key_type k, uint32_t i) {
     assert(k <= max_key());
     EbrDomain::Guard g(ebr_);
-    const uint64_t x = ikey_of(k);
+    const Ikey x = ikey_of(k);
     TrieStartEnv env{&trie_, k};
-    const SkipListEngine::Bracket b =
+    const typename Engine::Bracket b =
         engine_.cursor_descend(cur, x, &trie_start, &env);
     const bool hit = b.right->ikey() == x;
     if (results != nullptr) results[i] = hit;
@@ -102,30 +97,52 @@ size_t SkipTrie::contains_batch(const uint64_t* keys, size_t n,
   });
 }
 
-size_t SkipTrie::predecessor_batch(const uint64_t* keys, size_t n,
-                                   std::optional<uint64_t>* results) const {
+template <typename Traits>
+size_t BasicSkipTrie<Traits>::predecessor_batch(
+    const key_type* keys, size_t n, std::optional<key_type>* results) const {
   if (n == 0) return 0;
   if (!cfg_.use_cursor_batching) {
-    return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
-      const std::optional<uint64_t> p = predecessor(k);
+    return batch_detail::for_each_sorted(keys, n, [&](key_type k, uint32_t i) {
+      const std::optional<key_type> p = predecessor(k);
       if (results != nullptr) results[i] = p;
       return p.has_value();
     });
   }
-  DescentCursor& cur = engine_.cursor();
-  return batch_detail::for_each_sorted(keys, n, [&](uint64_t k, uint32_t i) {
+  BasicDescentCursor<Traits>& cur = engine_.cursor();
+  return batch_detail::for_each_sorted(keys, n, [&](key_type k, uint32_t i) {
     assert(k <= max_key());
     EbrDomain::Guard g(ebr_);
     // Largest ikey <= ikey(k)  <=>  bracket left of x = ikey(k) + 1.
-    const uint64_t x = ikey_of(k) + 1;
+    const Ikey x = ikey_of(k) + Ikey(1);
     TrieStartEnv env{&trie_, k};
-    const SkipListEngine::Bracket b =
+    const typename Engine::Bracket b =
         engine_.cursor_descend(cur, x, &trie_start, &env);
-    std::optional<uint64_t> p;
-    if (b.left->kind() == NodeKind::kInterior) p = b.left->ikey() - 1;
+    std::optional<key_type> p;
+    if (b.left->kind() == NodeKind::kInterior) p = b.left->ikey() - Ikey(1);
     if (results != nullptr) results[i] = p;
     return p.has_value();
   });
 }
+
+// Member-level explicit instantiations (see the note at the top).
+template size_t BasicSkipTrie<U64Traits>::insert_batch(const uint64_t*,
+                                                       size_t, uint8_t*);
+template size_t BasicSkipTrie<U64Traits>::erase_batch(const uint64_t*, size_t,
+                                                      uint8_t*);
+template size_t BasicSkipTrie<U64Traits>::contains_batch(const uint64_t*,
+                                                         size_t,
+                                                         uint8_t*) const;
+template size_t BasicSkipTrie<U64Traits>::predecessor_batch(
+    const uint64_t*, size_t, std::optional<uint64_t>*) const;
+
+template size_t BasicSkipTrie<Bytes16Traits>::insert_batch(
+    const Bytes16Traits::key_type*, size_t, uint8_t*);
+template size_t BasicSkipTrie<Bytes16Traits>::erase_batch(
+    const Bytes16Traits::key_type*, size_t, uint8_t*);
+template size_t BasicSkipTrie<Bytes16Traits>::contains_batch(
+    const Bytes16Traits::key_type*, size_t, uint8_t*) const;
+template size_t BasicSkipTrie<Bytes16Traits>::predecessor_batch(
+    const Bytes16Traits::key_type*, size_t,
+    std::optional<Bytes16Traits::key_type>*) const;
 
 }  // namespace skiptrie

@@ -6,9 +6,10 @@
 // descent at the lowest level where the cursor's bracket still holds.  This
 // header holds the structure-independent half: the sorted iteration order
 // (with an O(n) already-sorted fast path) and the batch attribution
-// counters.  The per-structure halves live in src/core/batch.cpp (SkipTrie:
-// trie fallback + Alg. 6/7 sweeps) and src/baseline/lockfree_skiplist.cpp
-// (no trie).
+// counters, both templated on the key word so every traits instantiation
+// (uint64_t, u128) shares one implementation.  The per-structure halves
+// live in src/core/batch.cpp (SkipTrie: trie fallback + Alg. 6/7 sweeps)
+// and src/baseline/lockfree_skiplist.cpp (no trie).
 //
 // Results are reported in *input* order regardless of the internal
 // processing order; duplicates are processed in input order (stable sort),
@@ -16,8 +17,10 @@
 // success, on the first occurrence.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "common/stats.h"
@@ -25,22 +28,31 @@
 namespace skiptrie {
 namespace batch_detail {
 
-inline bool is_sorted_keys(const uint64_t* keys, size_t n) {
+template <typename K>
+inline bool is_sorted_keys(const K* keys, size_t n) {
   for (size_t i = 1; i < n; ++i) {
     if (keys[i - 1] > keys[i]) return false;
   }
   return true;
 }
 
-// Indices of `keys` in stable ascending key order; empty when the input is
-// already sorted (the common bulk-load case pays no allocation).
-std::vector<uint32_t> sorted_order(const uint64_t* keys, size_t n);
+// Indices of `keys` in stable ascending key order.
+template <typename K>
+std::vector<uint32_t> sorted_order(const K* keys, size_t n) {
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  // Stable: duplicate keys keep their input order, so "first occurrence
+  // wins" semantics hold for insert/erase result reporting.
+  std::stable_sort(order.begin(), order.end(),
+                   [keys](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
+  return order;
+}
 
 // Drive `op(key, input_index)` over the keys in ascending order, tallying
 // the batch attribution counters (steps.batch_ops/batch_keys).  Returns the
 // number of ops that returned true.  `op` writes its own per-key result.
-template <typename PerKey>
-size_t for_each_sorted(const uint64_t* keys, size_t n, PerKey&& op) {
+template <typename K, typename PerKey>
+size_t for_each_sorted(const K* keys, size_t n, PerKey&& op) {
   auto& c = tls_counters();
   c.batch_ops++;
   c.batch_keys += n;

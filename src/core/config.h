@@ -8,9 +8,12 @@
 namespace skiptrie {
 
 struct Config {
-  // B = log2 of the key universe size; keys live in [0, 2^B).  4..64.
-  // The truncated skiplist gets ceil(log2(B)) + 1 levels, so a key reaches
-  // the top (and the x-fast trie) with probability ~1/B = 1/log u.
+  // B = log2 of the key universe size; keys live in [0, 2^B).  Bounded by
+  // the traits' word width: 4..64 for U64Traits, 4..128 for Bytes16Traits
+  // (DESIGN.md §6; the byte-string/IPv6 codecs emit into the full 128-bit
+  // universe).  The truncated skiplist gets ceil(log2(B)) + 1 levels, so a
+  // key reaches the top (and the x-fast trie) with probability
+  // ~1/B = 1/log u.
   uint32_t universe_bits = 32;
 
   // Full DCSS (paper default) or the paper's plain-CAS fallback (§1): the

@@ -7,38 +7,46 @@
 
 namespace skiptrie {
 
-Node* SkipTrie::trie_start(void* env, uint64_t x) {
+template <typename Traits>
+auto BasicSkipTrie<Traits>::trie_start(void* env, Ikey x) -> Node_t* {
   auto* e = static_cast<TrieStartEnv*>(env);
   return e->trie->pred_start(e->key, x);
 }
 
-uint32_t SkipTrie::tower_height(uint64_t x) const {
-  return deterministic_height(cfg_.seed, x, engine_.top_level());
+template <typename Traits>
+uint32_t BasicSkipTrie<Traits>::tower_height(Ikey x) const {
+  return deterministic_height_mixed(cfg_.seed, Traits::height_mix(x),
+                                    engine_.top_level());
 }
 
-SkipTrie::SkipTrie(const Config& cfg)
+template <typename Traits>
+BasicSkipTrie<Traits>::BasicSkipTrie(const Config& cfg)
     : cfg_(cfg),
-      arena_(sizeof(Node), kCacheLine, cfg.arena_blocks_per_slab),
+      arena_(sizeof(Node_t), kCacheLine, cfg.arena_blocks_per_slab),
       ebr_(),
       ctx_{&ebr_, cfg.dcss_mode},
       engine_(ctx_, arena_, ceil_log2(cfg.universe_bits)),
       trie_(ctx_, engine_, cfg.universe_bits, cfg.max_hash_buckets) {
-  assert(cfg.universe_bits >= 4 && cfg.universe_bits <= 64);
+  assert(cfg.universe_bits >= 4 && cfg.universe_bits <= Traits::kMaxBits);
   engine_.set_finger_enabled(cfg.use_finger);
 }
 
-SkipListEngine::Bracket SkipTrie::locate(uint64_t key, uint64_t x) const {
+template <typename Traits>
+auto BasicSkipTrie<Traits>::locate(key_type key, Ikey x) const ->
+    typename Engine::Bracket {
   TrieStartEnv env{&trie_, key};
   return engine_.fingered_descend(x, /*min_level=*/0, &trie_start, &env);
 }
 
-uint64_t SkipTrie::max_key() const {
-  const uint64_t mask = universe_mask(cfg_.universe_bits);
-  return cfg_.universe_bits >= 64 ? mask - 2 : mask;
+template <typename Traits>
+auto BasicSkipTrie<Traits>::max_key() const -> key_type {
+  const Ikey mask = Traits::universe_mask(cfg_.universe_bits);
+  return cfg_.universe_bits >= Traits::kMaxBits ? mask - Ikey(2) : mask;
 }
 
-bool SkipTrie::finish_insert(uint64_t key,
-                             const SkipListEngine::InsertResult& r) {
+template <typename Traits>
+bool BasicSkipTrie<Traits>::finish_insert(
+    key_type key, const typename Engine::InsertResult& r) {
   if (!r.inserted) return false;
   size_.fetch_add(1, std::memory_order_relaxed);
   if (r.top != nullptr) {
@@ -54,8 +62,9 @@ bool SkipTrie::finish_insert(uint64_t key,
   return true;
 }
 
-bool SkipTrie::finish_erase(uint64_t key,
-                            const SkipListEngine::EraseResult& r) {
+template <typename Traits>
+bool BasicSkipTrie<Traits>::finish_erase(key_type key,
+                                         const typename Engine::EraseResult& r) {
   if (!r.erased) return false;
   size_.fetch_sub(1, std::memory_order_relaxed);
   if (r.top != nullptr) {
@@ -67,77 +76,90 @@ bool SkipTrie::finish_erase(uint64_t key,
   return true;
 }
 
-bool SkipTrie::insert(uint64_t key) {
+template <typename Traits>
+bool BasicSkipTrie<Traits>::insert(key_type key) {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
-  const uint64_t x = ikey_of(key);
+  const Ikey x = ikey_of(key);
   TrieStartEnv env{&trie_, key};
-  const SkipListEngine::InsertResult r =
+  const typename Engine::InsertResult r =
       engine_.fingered_insert(x, tower_height(x), &trie_start, &env);
   return finish_insert(key, r);
 }
 
-bool SkipTrie::erase(uint64_t key) {
+template <typename Traits>
+bool BasicSkipTrie<Traits>::erase(key_type key) {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
-  const uint64_t x = ikey_of(key);
+  const Ikey x = ikey_of(key);
   TrieStartEnv env{&trie_, key};
-  const SkipListEngine::EraseResult r =
+  const typename Engine::EraseResult r =
       engine_.fingered_erase(x, &trie_start, &env);
   return finish_erase(key, r);
 }
 
-bool SkipTrie::contains(uint64_t key) const {
+template <typename Traits>
+bool BasicSkipTrie<Traits>::contains(key_type key) const {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
-  const uint64_t x = ikey_of(key);
-  const SkipListEngine::Bracket b = locate(key, x);
+  const Ikey x = ikey_of(key);
+  const typename Engine::Bracket b = locate(key, x);
   return b.right->ikey() == x;
 }
 
-std::optional<uint64_t> SkipTrie::predecessor(uint64_t key) const {
+template <typename Traits>
+auto BasicSkipTrie<Traits>::predecessor(key_type key) const
+    -> std::optional<key_type> {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
   // Largest ikey <= ikey(key)  <=>  bracket left of x = ikey(key) + 1.
-  const uint64_t x = ikey_of(key) + 1;
-  const SkipListEngine::Bracket b = locate(key, x);
+  const Ikey x = ikey_of(key) + Ikey(1);
+  const typename Engine::Bracket b = locate(key, x);
   if (b.left->kind() != NodeKind::kInterior) return std::nullopt;  // head
-  return b.left->ikey() - 1;
+  return b.left->ikey() - Ikey(1);
 }
 
-std::optional<uint64_t> SkipTrie::strict_predecessor(uint64_t key) const {
+template <typename Traits>
+auto BasicSkipTrie<Traits>::strict_predecessor(key_type key) const
+    -> std::optional<key_type> {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
-  const uint64_t x = ikey_of(key);
-  const SkipListEngine::Bracket b = locate(key, x);
+  const Ikey x = ikey_of(key);
+  const typename Engine::Bracket b = locate(key, x);
   if (b.left->kind() != NodeKind::kInterior) return std::nullopt;
-  return b.left->ikey() - 1;
+  return b.left->ikey() - Ikey(1);
 }
 
-std::optional<uint64_t> SkipTrie::successor(uint64_t key) const {
+template <typename Traits>
+auto BasicSkipTrie<Traits>::successor(key_type key) const
+    -> std::optional<key_type> {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
-  const uint64_t x = ikey_of(key) + 1;  // first node with ikey >= ikey(key)+1
-  const SkipListEngine::Bracket b = locate(key, x);
+  const Ikey x = ikey_of(key) + Ikey(1);  // first node with ikey >= ikey(key)+1
+  const typename Engine::Bracket b = locate(key, x);
   if (b.right->kind() != NodeKind::kInterior) return std::nullopt;  // tail
-  return b.right->ikey() - 1;
+  return b.right->ikey() - Ikey(1);
 }
 
-std::optional<uint64_t> SkipTrie::min_key() const {
+template <typename Traits>
+auto BasicSkipTrie<Traits>::min_key() const -> std::optional<key_type> {
   EbrDomain::Guard g(ebr_);
   // First node with ikey >= 1, i.e. the smallest key.  No trie fallback:
   // pred_start(x=1) can only ever land on the head anyway.
-  const SkipListEngine::Bracket b =
-      engine_.fingered_descend(1, /*min_level=*/0, nullptr, nullptr);
+  const typename Engine::Bracket b =
+      engine_.fingered_descend(Ikey(1), /*min_level=*/0, nullptr, nullptr);
   if (b.right->kind() != NodeKind::kInterior) return std::nullopt;
-  return b.right->ikey() - 1;
+  return b.right->ikey() - Ikey(1);
 }
 
-std::optional<uint64_t> SkipTrie::max_key_present() const {
+template <typename Traits>
+auto BasicSkipTrie<Traits>::max_key_present() const
+    -> std::optional<key_type> {
   return predecessor(max_key());
 }
 
-size_t SkipTrie::size() const {
+template <typename Traits>
+size_t BasicSkipTrie<Traits>::size() const {
   // Counter updates are relaxed and happen after the operation linearizes,
   // so a reader racing an insert/erase pair may observe the decrement before
   // the increment: transiently negative, but never by more than the number
@@ -150,13 +172,14 @@ size_t SkipTrie::size() const {
   return s > 0 ? static_cast<size_t>(s) : 0;
 }
 
-SkipTrie::StructureStats SkipTrie::structure_stats() const {
+template <typename Traits>
+auto BasicSkipTrie<Traits>::structure_stats() const -> StructureStats {
   EbrDomain::Guard g(ebr_);
   StructureStats s;
   const uint32_t top = engine_.top_level();
   for (uint32_t l = 0; l <= top; ++l) {
     size_t n = 0;
-    for (Node* it = engine_.first_at(l); it != nullptr;
+    for (Node_t* it = engine_.first_at(l); it != nullptr;
          it = engine_.next_at(it)) {
       ++n;
     }
@@ -174,9 +197,10 @@ SkipTrie::StructureStats SkipTrie::structure_stats() const {
   // Gap statistics: number of level-0 keys strictly between consecutive
   // top-level nodes (the paper's "bucket" size, expected O(log u)).
   size_t gaps = 0, gap_total = 0, gap_cur = 0;
-  Node* next_top = engine_.first_at(top);
-  uint64_t next_top_key = next_top != nullptr ? next_top->ikey() : UINT64_MAX;
-  for (Node* it = engine_.first_at(0); it != nullptr;
+  Node_t* next_top = engine_.first_at(top);
+  Ikey next_top_key =
+      next_top != nullptr ? next_top->ikey() : Traits::ikey_max();
+  for (Node_t* it = engine_.first_at(0); it != nullptr;
        it = engine_.next_at(it)) {
     if (it->ikey() >= next_top_key) {
       ++gaps;
@@ -184,7 +208,8 @@ SkipTrie::StructureStats SkipTrie::structure_stats() const {
       if (gap_cur > s.max_top_gap) s.max_top_gap = gap_cur;
       gap_cur = 0;
       next_top = next_top != nullptr ? engine_.next_at(next_top) : nullptr;
-      next_top_key = next_top != nullptr ? next_top->ikey() : UINT64_MAX;
+      next_top_key =
+          next_top != nullptr ? next_top->ikey() : Traits::ikey_max();
     } else {
       ++gap_cur;
     }
@@ -196,5 +221,10 @@ SkipTrie::StructureStats SkipTrie::structure_stats() const {
                            : static_cast<double>(gap_total);
   return s;
 }
+
+// Instantiates every member defined in this TU; the batch members are
+// defined (and member-level instantiated) in batch.cpp.
+template class BasicSkipTrie<U64Traits>;
+template class BasicSkipTrie<Bytes16Traits>;
 
 }  // namespace skiptrie

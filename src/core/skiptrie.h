@@ -16,13 +16,20 @@
 // targets skip both the trie query and the upper levels.  See DESIGN.md
 // for the full inventory.
 //
+// The structure is a template over KeyTraits (DESIGN.md §6):
+// `using SkipTrie = BasicSkipTrie<U64Traits>` is the historical u64 set
+// (B = 4..64, seed step counts pinned), while BasicSkipTrie<Bytes16Traits>
+// runs the same algorithms over a 128-bit universe whose keys are
+// order-preserving encodings of bounded byte strings / IPv6 addresses
+// (common/key_codec.h); see examples/ip_router.cpp.
+//
 // Thread safety: all operations may be called concurrently from any number
 // of threads (up to EbrDomain::kMaxThreads distinct threads over the
 // structure's lifetime).  Destruction must be externally quiesced, like any
 // concurrent container.
 //
-// Key range: [0, 2^B) for B < 64; for B = 64 the two largest keys
-// (2^64-1, 2^64-2) are reserved for sentinels.
+// Key range: [0, 2^B) for B < Traits::kMaxBits; at B = kMaxBits the two
+// largest keys of the universe are reserved for sentinels.
 #pragma once
 
 #include <cstdint>
@@ -37,32 +44,39 @@
 
 namespace skiptrie {
 
-class SkipTrie {
+template <typename Traits>
+class BasicSkipTrie {
  public:
-  explicit SkipTrie(const Config& cfg = Config{});
-  ~SkipTrie() = default;
+  using key_type = typename Traits::key_type;
+  using Ikey = typename Traits::ikey_type;
+  using Node_t = NodeT<Ikey>;
+  using Engine = BasicSkipListEngine<Traits>;
+  using Trie = BasicXFastTrie<Traits>;
 
-  SkipTrie(const SkipTrie&) = delete;
-  SkipTrie& operator=(const SkipTrie&) = delete;
+  explicit BasicSkipTrie(const Config& cfg = Config{});
+  ~BasicSkipTrie() = default;
+
+  BasicSkipTrie(const BasicSkipTrie&) = delete;
+  BasicSkipTrie& operator=(const BasicSkipTrie&) = delete;
 
   // Inserts key; false if already present.  Linearizes at the level-0 link
   // (or at an observation of the key being present).
-  bool insert(uint64_t key);
+  bool insert(key_type key);
 
   // Removes key; false if absent.  Linearizes at the level-0 mark.
-  bool erase(uint64_t key);
+  bool erase(key_type key);
 
   // Membership test (predecessor-query machinery, exact at level 0).
-  bool contains(uint64_t key) const;
+  bool contains(key_type key) const;
 
   // Largest key' <= key (the paper's predecessor(key), Alg. 5).
-  std::optional<uint64_t> predecessor(uint64_t key) const;
+  std::optional<key_type> predecessor(key_type key) const;
 
   // Largest key' < key.
-  std::optional<uint64_t> strict_predecessor(uint64_t key) const;
+  std::optional<key_type> strict_predecessor(key_type key) const;
 
   // Smallest key' > key.
-  std::optional<uint64_t> successor(uint64_t key) const;
+  std::optional<key_type> successor(key_type key) const;
 
   // --- Batched operations (DESIGN.md §3.7, src/core/batch.cpp) -----------
   // Each call sorts the keys and streams them through one DescentCursor:
@@ -76,63 +90,64 @@ class SkipTrie {
   // not an atomic multi-key transaction.  Duplicates are processed in input
   // order; with Config::use_cursor_batching off the calls degenerate to
   // per-key loops (identical results, ablation).
-  size_t insert_batch(const uint64_t* keys, size_t n,
+  size_t insert_batch(const key_type* keys, size_t n,
                       uint8_t* results = nullptr);
-  size_t erase_batch(const uint64_t* keys, size_t n,
+  size_t erase_batch(const key_type* keys, size_t n,
                      uint8_t* results = nullptr);
-  size_t contains_batch(const uint64_t* keys, size_t n,
+  size_t contains_batch(const key_type* keys, size_t n,
                         uint8_t* results = nullptr) const;
-  size_t predecessor_batch(const uint64_t* keys, size_t n,
-                           std::optional<uint64_t>* results = nullptr) const;
+  size_t predecessor_batch(const key_type* keys, size_t n,
+                           std::optional<key_type>* results = nullptr) const;
 
-  size_t insert_batch(const std::vector<uint64_t>& keys,
+  size_t insert_batch(const std::vector<key_type>& keys,
                       uint8_t* results = nullptr) {
     return insert_batch(keys.data(), keys.size(), results);
   }
-  size_t erase_batch(const std::vector<uint64_t>& keys,
+  size_t erase_batch(const std::vector<key_type>& keys,
                      uint8_t* results = nullptr) {
     return erase_batch(keys.data(), keys.size(), results);
   }
-  size_t contains_batch(const std::vector<uint64_t>& keys,
+  size_t contains_batch(const std::vector<key_type>& keys,
                         uint8_t* results = nullptr) const {
     return contains_batch(keys.data(), keys.size(), results);
   }
-  size_t predecessor_batch(const std::vector<uint64_t>& keys,
-                           std::optional<uint64_t>* results = nullptr) const {
+  size_t predecessor_batch(const std::vector<key_type>& keys,
+                           std::optional<key_type>* results = nullptr) const {
     return predecessor_batch(keys.data(), keys.size(), results);
   }
 
   // Smallest / largest key currently present.
-  std::optional<uint64_t> min_key() const;
-  std::optional<uint64_t> max_key_present() const;
+  std::optional<key_type> min_key() const;
+  std::optional<key_type> max_key_present() const;
 
   // Visit every key in [lo, hi] in ascending order.  Weakly consistent
   // under concurrency (like java.util.concurrent iterators): keys inserted
   // or removed during the traversal may or may not be observed, but every
   // key reported was present at some point during the call, in order.
   template <typename F>
-  void for_each_in_range(uint64_t lo, uint64_t hi, F f) const {
+  void for_each_in_range(key_type lo, key_type hi, F f) const {
     if (lo > hi) return;
     EbrDomain::Guard g(ebr_);
-    const uint64_t xlo = ikey_of(lo);
-    const SkipListEngine::Bracket b = locate(lo, xlo);
-    const uint64_t xhi = ikey_of(hi);
-    for (Node* n = b.right; n != nullptr && n->kind() == NodeKind::kInterior &&
-                            n->ikey() <= xhi;) {
+    const Ikey xlo = ikey_of(lo);
+    const typename Engine::Bracket b = locate(lo, xlo);
+    const Ikey xhi = ikey_of(hi);
+    for (Node_t* n = b.right;
+         n != nullptr && n->kind() == NodeKind::kInterior && n->ikey() <= xhi;
+         ) {
       // One read of the next word serves both the mark test and the advance:
       // re-reading would let a concurrent deleter mark the node between the
       // "unmarked" observation and the hop, reporting a key alongside a
       // next-pointer observed only after its node's deletion.
       const uint64_t w = dcss_read(n->next);
-      if (!is_marked(w)) f(n->ikey() - 1);
-      n = unpack_ptr<Node>(without_tags(w));
+      if (!is_marked(w)) f(n->ikey() - Ikey(1));
+      n = unpack_ptr<Node_t>(without_tags(w));
     }
   }
 
   // Number of keys in [lo, hi] (by traversal; weakly consistent).
-  size_t count_range(uint64_t lo, uint64_t hi) const {
+  size_t count_range(key_type lo, key_type hi) const {
     size_t n = 0;
-    for_each_in_range(lo, hi, [&n](uint64_t) { ++n; });
+    for_each_in_range(lo, hi, [&n](key_type) { ++n; });
     return n;
   }
 
@@ -140,12 +155,12 @@ class SkipTrie {
   size_t size() const;
 
   uint32_t universe_bits() const { return cfg_.universe_bits; }
-  uint64_t max_key() const;
+  key_type max_key() const;
 
   // --- Introspection for tests and benchmarks ---
   struct StructureStats {
     size_t keys = 0;              // interior nodes at level 0
-    size_t level_counts[SkipListEngine::kMaxLevels + 1] = {};
+    size_t level_counts[Engine::kMaxLevels + 1] = {};
     size_t top_count = 0;         // nodes at the top level
     size_t trie_entries = 0;      // prefix hash entries
     double avg_top_gap = 0.0;     // mean #keys strictly between top nodes
@@ -160,39 +175,40 @@ class SkipTrie {
   StructureStats structure_stats() const;
 
   // Internal components, exposed for white-box tests and benchmarks.
-  SkipListEngine& engine() { return engine_; }
-  const SkipListEngine& engine() const { return engine_; }
-  XFastTrie& trie() { return trie_; }
-  const XFastTrie& trie() const { return trie_; }
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+  Trie& trie() { return trie_; }
+  const Trie& trie() const { return trie_; }
   EbrDomain& ebr() const { return ebr_; }
   const Config& config() const { return cfg_; }
 
  private:
-  uint64_t ikey_of(uint64_t key) const { return key + 1; }
+  Ikey ikey_of(key_type key) const { return key + Ikey(1); }
   // Seed-stable tower height for ikey x (DESIGN.md §3.7): derived from
   // (cfg_.seed, x) alone, so step counts are cell-comparable across runs
-  // regardless of thread start order.
-  uint32_t tower_height(uint64_t x) const;
+  // regardless of thread start order.  The ikey folds through the traits'
+  // height_mix — for U64Traits exactly the seed's draw.
+  uint32_t tower_height(Ikey x) const;
   // The one fingered descent seam every read-path operation goes through
   // (DESIGN.md §3.6): a finger hit starts below the top and skips
   // lowest_ancestor entirely; a miss runs the x-fast pred_start and the
   // descent seeds the finger from it.  Must be called with ebr_ pinned.
-  SkipListEngine::Bracket locate(uint64_t key, uint64_t x) const;
+  typename Engine::Bracket locate(key_type key, Ikey x) const;
 
   // Lazy x-fast start for the engine's cursor entry points: only invoked
   // when neither the cursor nor the finger has a usable bracket, so those
   // paths pay zero hash probes (DESIGN.md §3.6–§3.7).
   struct TrieStartEnv {
-    XFastTrie* trie;
-    uint64_t key;
+    Trie* trie;
+    key_type key;
   };
-  static Node* trie_start(void* env, uint64_t x);
+  static Node_t* trie_start(void* env, Ikey x);
 
   // Post-descent bodies shared by the single-key and batched write paths:
   // size accounting plus the Alg. 6/7 trie sweeps (including the
   // CAS-fallback undone_top sweep, DESIGN.md §3.5(5)).
-  bool finish_insert(uint64_t key, const SkipListEngine::InsertResult& r);
-  bool finish_erase(uint64_t key, const SkipListEngine::EraseResult& r);
+  bool finish_insert(key_type key, const typename Engine::InsertResult& r);
+  bool finish_erase(key_type key, const typename Engine::EraseResult& r);
 
   Config cfg_;
   // Destruction order (reverse of declaration) matters: ebr_ must drain its
@@ -201,9 +217,12 @@ class SkipTrie {
   mutable SlabArena arena_;
   mutable EbrDomain ebr_;
   DcssContext ctx_;
-  mutable SkipListEngine engine_;
-  mutable XFastTrie trie_;
+  mutable Engine engine_;
+  mutable Trie trie_;
   std::atomic<int64_t> size_{0};
 };
+
+// The historical u64 fast-path name.
+using SkipTrie = BasicSkipTrie<U64Traits>;
 
 }  // namespace skiptrie

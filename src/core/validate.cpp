@@ -1,5 +1,6 @@
 #include "core/validate.h"
 
+#include <iomanip>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -11,29 +12,51 @@ namespace skiptrie {
 
 namespace {
 
-std::string hex(uint64_t v) {
+template <typename Ikey>
+std::string hex(Ikey v) {
   std::ostringstream os;
-  os << "0x" << std::hex << v;
+  os << "0x" << std::hex;
+  if constexpr (sizeof(Ikey) > 8) {
+    const uint64_t hi = u128_hi(v);
+    const uint64_t lo = u128_lo(v);
+    if (hi != 0) os << hi << std::setw(16) << std::setfill('0');
+    os << lo;
+  } else {
+    os << static_cast<uint64_t>(v);
+  }
   return os.str();
 }
 
+// Hash ikeys through the traits' own mix (u128 has no std::hash).
+template <typename Traits>
+struct IkeyHash {
+  size_t operator()(typename Traits::ikey_type k) const {
+    return static_cast<size_t>(Traits::hash_mix(k));
+  }
+};
+
 }  // namespace
 
-std::vector<std::string> validate_structure(const SkipTrie& t) {
+template <typename Traits>
+std::vector<std::string> validate_structure(const BasicSkipTrie<Traits>& t) {
+  using Ikey = typename Traits::ikey_type;
+  using Node_t = NodeT<Ikey>;
+  using IkeySet = std::unordered_set<Ikey, IkeyHash<Traits>>;
+
   std::vector<std::string> errors;
   auto fail = [&](const std::string& msg) { errors.push_back(msg); };
 
-  const SkipListEngine& eng = t.engine();
+  const BasicSkipListEngine<Traits>& eng = t.engine();
   const uint32_t top = eng.top_level();
   const uint32_t bits = t.universe_bits();
   EbrDomain::Guard g(t.ebr());
 
   // Per-level sortedness + tower integrity.
-  std::vector<std::unordered_set<uint64_t>> level_keys(top + 1);
+  std::vector<IkeySet> level_keys(top + 1);
   for (uint32_t l = 0; l <= top; ++l) {
-    uint64_t prev = 0;
-    for (Node* n = eng.first_at(l); n != nullptr; n = eng.next_at(n)) {
-      const uint64_t ik = n->ikey();
+    Ikey prev = Ikey(0);
+    for (Node_t* n = eng.first_at(l); n != nullptr; n = eng.next_at(n)) {
+      const Ikey ik = n->ikey();
       if (ik <= prev) {
         fail("level " + std::to_string(l) + ": not strictly sorted at " +
              hex(ik));
@@ -47,12 +70,12 @@ std::vector<std::string> validate_structure(const SkipTrie& t) {
         fail("level " + std::to_string(l) + ": duplicate key " + hex(ik));
       }
       if (l > 0) {
-        Node* d = n->down();
+        Node_t* d = n->down();
         if (d == nullptr || d->ikey() != ik || d->level() != l - 1) {
           fail("level " + std::to_string(l) + ": broken down link at " +
                hex(ik));
         }
-        Node* r = n->root();
+        Node_t* r = n->root();
         if (r == nullptr || r->ikey() != ik || r->level() != 0) {
           fail("level " + std::to_string(l) + ": broken root link at " +
                hex(ik));
@@ -62,7 +85,7 @@ std::vector<std::string> validate_structure(const SkipTrie& t) {
   }
   // Towers must be supported below: a key at level l must exist at l-1.
   for (uint32_t l = 1; l <= top; ++l) {
-    for (uint64_t ik : level_keys[l]) {
+    for (const Ikey& ik : level_keys[l]) {
       if (level_keys[l - 1].find(ik) == level_keys[l - 1].end()) {
         fail("key " + hex(ik) + " at level " + std::to_string(l) +
              " missing from level " + std::to_string(l - 1));
@@ -79,7 +102,7 @@ std::vector<std::string> validate_structure(const SkipTrie& t) {
   // MUST hold quiescently: a live (unmarked) node's own prev word carries
   // no mark — the mark is only ever set by the node's deleter, after the
   // next-word mark.
-  for (Node* n = eng.first_at(top); n != nullptr; n = eng.next_at(n)) {
+  for (Node_t* n = eng.first_at(top); n != nullptr; n = eng.next_at(n)) {
     const uint64_t pv = n->prevw.load(std::memory_order_acquire);
     if (is_marked(pv)) {
       fail("top node " + hex(n->ikey()) + " unmarked but prev word marked");
@@ -88,26 +111,27 @@ std::vector<std::string> validate_structure(const SkipTrie& t) {
 
   // Trie consistency: every entry's pointers are null or land on a live
   // top-level node matching the prefix.
-  std::unordered_map<uint64_t, const TreeNode*> entries;
-  t.trie().map().for_each([&](uint64_t k, uint64_t v) {
+  std::unordered_map<Ikey, const TreeNode*, IkeyHash<Traits>> entries;
+  t.trie().map().for_each([&](Ikey k, uint64_t v) {
     entries.emplace(k, reinterpret_cast<const TreeNode*>(v));
   });
   for (const auto& [enc, tn] : entries) {
     // Decode the 1-prefixed encoding: length = index of leading 1.
-    uint32_t len = 63;
-    while (len > 0 && (enc >> len) != 1ull) --len;
+    uint32_t len = Traits::kMaxBits - 1;
+    while (len > 0 && (enc >> len) != Ikey(1)) --len;
     for (int d = 0; d < 2; ++d) {
       const uint64_t w = tn->ptrs[d].load(std::memory_order_acquire);
-      Node* n = unpack_ptr<Node>(w);
+      Node_t* n = unpack_ptr<Node_t>(w);
       if (n == nullptr) continue;
-      const uint64_t ik = n->ikey();
-      if (ik == 0 || ik == UINT64_MAX || n->kind() != NodeKind::kInterior) {
+      const Ikey ik = n->ikey();
+      if (ik == Ikey(0) || ik == Traits::ikey_max() ||
+          n->kind() != NodeKind::kInterior) {
         fail("trie entry " + hex(enc) + " dir " + std::to_string(d) +
              " points at a non-interior node");
         continue;
       }
-      const uint64_t key = ik - 1;
-      if (len > 0 && encode_prefix(key, len, bits) != enc) {
+      const Ikey key = ik - Ikey(1);
+      if (len > 0 && Traits::encode_prefix(key, len, bits) != enc) {
         fail("trie entry " + hex(enc) + " dir " + std::to_string(d) +
              " points outside its prefix (key " + hex(key) + ")");
       }
@@ -120,34 +144,39 @@ std::vector<std::string> validate_structure(const SkipTrie& t) {
 
   // Coverage: every top-level key's full prefix path must exist and cover
   // the key in its direction.
-  for (uint64_t ik : level_keys[top]) {
-    const uint64_t key = ik - 1;
+  for (const Ikey& ik : level_keys[top]) {
+    const Ikey key = ik - Ikey(1);
     for (uint32_t len = 0; len < bits; ++len) {
-      const uint64_t enc = encode_prefix(key, len, bits);
+      const Ikey enc = Traits::encode_prefix(key, len, bits);
       auto it = entries.find(enc);
       if (it == entries.end()) {
         fail("top key " + hex(key) + ": missing trie entry at length " +
              std::to_string(len));
         continue;
       }
-      const uint64_t d = key_bit(key, len, bits);
+      const uint64_t d = Traits::bit(key, len, bits);
       const uint64_t w = it->second->ptrs[d].load(std::memory_order_acquire);
-      Node* n = unpack_ptr<Node>(w);
+      Node_t* n = unpack_ptr<Node_t>(w);
       if (n == nullptr) {
         fail("top key " + hex(key) + ": null trie pointer at length " +
              std::to_string(len));
         continue;
       }
-      const uint64_t ck = n->ikey();
+      const Ikey ck = n->ikey();
       const bool covered = (d == 0) ? ck >= ik : ck <= ik;
       if (!covered) {
         fail("top key " + hex(key) + ": uncovered at length " +
-             std::to_string(len) + " (candidate " + hex(ck - 1) + ")");
+             std::to_string(len) + " (candidate " + hex(ck - Ikey(1)) + ")");
       }
     }
   }
 
   return errors;
 }
+
+template std::vector<std::string> validate_structure<U64Traits>(
+    const BasicSkipTrie<U64Traits>&);
+template std::vector<std::string> validate_structure<Bytes16Traits>(
+    const BasicSkipTrie<Bytes16Traits>&);
 
 }  // namespace skiptrie

@@ -2,6 +2,8 @@
 //
 // All checks require quiescence (no concurrent mutators); they walk raw
 // chains and the prefix table and report human-readable violations.
+// Templated over KeyTraits like the structure itself; explicit
+// instantiations for both shipped traits live in validate.cpp.
 #pragma once
 
 #include <string>
@@ -22,6 +24,7 @@ namespace skiptrie {
 //  - every key that reached the top level has its full prefix path in the
 //    trie pointing to a covering node (coverage: pointers[0] >= key,
 //    pointers[1] <= key within the prefix's subtree).
-std::vector<std::string> validate_structure(const SkipTrie& t);
+template <typename Traits>
+std::vector<std::string> validate_structure(const BasicSkipTrie<Traits>& t);
 
 }  // namespace skiptrie

@@ -18,19 +18,25 @@ inline uint64_t reverse_bits(uint64_t v) {
 
 }  // namespace
 
-uint64_t SplitOrderedMap::hash_of(uint64_t key) { return mix64(key); }
+template <typename Traits>
+uint64_t BasicSplitOrderedMap<Traits>::hash_of(Ikey key) {
+  return Traits::hash_mix(key);
+}
 
-uint64_t SplitOrderedMap::regular_so_key(uint64_t key) {
+template <typename Traits>
+uint64_t BasicSplitOrderedMap<Traits>::regular_so_key(Ikey key) {
   // Reversed hash with the (now-) least significant bit forced to 1 so that
   // regular nodes always sort after the dummy of their bucket.
   return reverse_bits(hash_of(key)) | 1ull;
 }
 
-uint64_t SplitOrderedMap::dummy_so_key(uint64_t bucket) {
+template <typename Traits>
+uint64_t BasicSplitOrderedMap<Traits>::dummy_so_key(uint64_t bucket) {
   return reverse_bits(bucket);  // LSB clear: sorts before bucket's items
 }
 
-size_t SplitOrderedMap::parent_bucket(size_t bucket) {
+template <typename Traits>
+size_t BasicSplitOrderedMap<Traits>::parent_bucket(size_t bucket) {
   assert(bucket > 0);
   // Clear the most significant set bit: the bucket this one split from.
   size_t msb = bucket;
@@ -39,10 +45,12 @@ size_t SplitOrderedMap::parent_bucket(size_t bucket) {
   return bucket & (msb >> 1);
 }
 
-SplitOrderedMap::SplitOrderedMap(DcssContext ctx, size_t max_buckets)
+template <typename Traits>
+BasicSplitOrderedMap<Traits>::BasicSplitOrderedMap(DcssContext ctx,
+                                                   size_t max_buckets)
     : ctx_(ctx), max_buckets_(max_buckets) {
   for (auto& s : segments_) s.store(nullptr, std::memory_order_relaxed);
-  list_head_ = new HNode{0, 0, 0, {0}};
+  list_head_ = new HNode{0, Ikey(0), 0, {0}};
   dummies_.fetch_add(1, std::memory_order_relaxed);
   auto* seg = new BucketSlot[kSegSize];
   for (size_t i = 0; i < kSegSize; ++i) seg[i].store(nullptr, std::memory_order_relaxed);
@@ -50,7 +58,8 @@ SplitOrderedMap::SplitOrderedMap(DcssContext ctx, size_t max_buckets)
   segments_[0].store(seg, std::memory_order_release);
 }
 
-SplitOrderedMap::~SplitOrderedMap() {
+template <typename Traits>
+BasicSplitOrderedMap<Traits>::~BasicSplitOrderedMap() {
   // Single-threaded teardown: free every list node, then the directory.
   HNode* n = list_head_;
   while (n != nullptr) {
@@ -63,7 +72,9 @@ SplitOrderedMap::~SplitOrderedMap() {
   }
 }
 
-SplitOrderedMap::BucketSlot* SplitOrderedMap::slot_for(size_t bucket) const {
+template <typename Traits>
+auto BasicSplitOrderedMap<Traits>::slot_for(size_t bucket) const
+    -> BucketSlot* {
   const size_t seg_idx = bucket >> kSegBits;
   assert(seg_idx < kMaxSegments);
   BucketSlot* seg = segments_[seg_idx].load(std::memory_order_acquire);
@@ -83,14 +94,17 @@ SplitOrderedMap::BucketSlot* SplitOrderedMap::slot_for(size_t bucket) const {
   return &seg[bucket & (kSegSize - 1)];
 }
 
-SplitOrderedMap::HNode* SplitOrderedMap::bucket_head(size_t bucket) const {
+template <typename Traits>
+auto BasicSplitOrderedMap<Traits>::bucket_head(size_t bucket) const -> HNode* {
   BucketSlot* slot = slot_for(bucket);
   HNode* head = slot->load(std::memory_order_acquire);
   if (head != nullptr) return head;
   return initialize_bucket(bucket);
 }
 
-SplitOrderedMap::HNode* SplitOrderedMap::initialize_bucket(size_t bucket) const {
+template <typename Traits>
+auto BasicSplitOrderedMap<Traits>::initialize_bucket(size_t bucket) const
+    -> HNode* {
   // Recursively make sure the parent's dummy exists, then splice this
   // bucket's dummy into the list after it.
   HNode* parent_head = bucket_head(parent_bucket(bucket));
@@ -99,13 +113,14 @@ SplitOrderedMap::HNode* SplitOrderedMap::initialize_bucket(size_t bucket) const 
   HNode* dummy = nullptr;
   HNode* fresh = nullptr;
   for (;;) {
-    FindResult fr = find(parent_head, so, 0, /*cleanup=*/true);
-    if (fr.curr != nullptr && fr.curr->so_key == so && fr.curr->key == 0) {
+    FindResult fr = find(parent_head, so, Ikey(0), /*cleanup=*/true);
+    if (fr.curr != nullptr && fr.curr->so_key == so &&
+        fr.curr->key == Ikey(0)) {
       dummy = fr.curr;  // another thread already inserted it
       break;
     }
     if (fresh == nullptr) {
-      fresh = new HNode{so, 0, 0, {0}};
+      fresh = new HNode{so, Ikey(0), 0, {0}};
       dummies_.fetch_add(1, std::memory_order_relaxed);
     }
     fresh->next.store(pack_ptr(fr.curr), std::memory_order_relaxed);
@@ -125,9 +140,9 @@ SplitOrderedMap::HNode* SplitOrderedMap::initialize_bucket(size_t bucket) const 
   return slot->load(std::memory_order_acquire);
 }
 
-SplitOrderedMap::FindResult SplitOrderedMap::find(HNode* head, uint64_t so_key,
-                                                  uint64_t key,
-                                                  bool cleanup) const {
+template <typename Traits>
+auto BasicSplitOrderedMap<Traits>::find(HNode* head, uint64_t so_key, Ikey key,
+                                        bool cleanup) const -> FindResult {
   auto& c = tls_counters();
   bool first_visit = true;
 retry:
@@ -171,9 +186,11 @@ retry:
   }
 }
 
-bool SplitOrderedMap::insert(uint64_t key, uint64_t value,
-                             std::atomic<uint64_t>* guard,
-                             uint64_t guard_expected, bool* guard_failed) {
+template <typename Traits>
+bool BasicSplitOrderedMap<Traits>::insert(Ikey key, uint64_t value,
+                                          std::atomic<uint64_t>* guard,
+                                          uint64_t guard_expected,
+                                          bool* guard_failed) {
   EbrDomain::Guard g(*ctx_.ebr);
   auto& c = tls_counters();
   const uint64_t so = regular_so_key(key);
@@ -210,7 +227,8 @@ bool SplitOrderedMap::insert(uint64_t key, uint64_t value,
   return true;
 }
 
-std::optional<uint64_t> SplitOrderedMap::lookup(uint64_t key) const {
+template <typename Traits>
+std::optional<uint64_t> BasicSplitOrderedMap<Traits>::lookup(Ikey key) const {
   EbrDomain::Guard g(*ctx_.ebr);
   tls_counters().probes_lookup++;
   const uint64_t so = regular_so_key(key);
@@ -229,7 +247,8 @@ std::optional<uint64_t> SplitOrderedMap::lookup(uint64_t key) const {
   return std::nullopt;
 }
 
-std::optional<uint64_t> SplitOrderedMap::erase(uint64_t key) {
+template <typename Traits>
+std::optional<uint64_t> BasicSplitOrderedMap<Traits>::erase(Ikey key) {
   EbrDomain::Guard g(*ctx_.ebr);
   auto& c = tls_counters();
   const uint64_t so = regular_so_key(key);
@@ -257,8 +276,9 @@ std::optional<uint64_t> SplitOrderedMap::erase(uint64_t key) {
   }
 }
 
-bool SplitOrderedMap::compare_and_delete(uint64_t key,
-                                         uint64_t expected_value) {
+template <typename Traits>
+bool BasicSplitOrderedMap<Traits>::compare_and_delete(Ikey key,
+                                                      uint64_t expected_value) {
   EbrDomain::Guard g(*ctx_.ebr);
   auto& c = tls_counters();
   const uint64_t so = regular_so_key(key);
@@ -285,7 +305,8 @@ bool SplitOrderedMap::compare_and_delete(uint64_t key,
   }
 }
 
-void SplitOrderedMap::maybe_grow() {
+template <typename Traits>
+void BasicSplitOrderedMap<Traits>::maybe_grow() {
   // Grow to the smallest power of two satisfying count <= buckets *
   // kLoadFactor (capped at max_buckets_), not just one doubling: a table
   // that fell behind a prefill burst (or lost growth CASes to races) must
@@ -306,7 +327,8 @@ void SplitOrderedMap::maybe_grow() {
   }
 }
 
-size_t SplitOrderedMap::approx_bytes() const {
+template <typename Traits>
+size_t BasicSplitOrderedMap<Traits>::approx_bytes() const {
   size_t segs = 0;
   for (const auto& s : segments_) {
     if (s.load(std::memory_order_relaxed) != nullptr) segs++;
@@ -316,5 +338,8 @@ size_t SplitOrderedMap::approx_bytes() const {
              sizeof(HNode) +
          segs * kSegSize * sizeof(BucketSlot);
 }
+
+template class BasicSplitOrderedMap<U64Traits>;
+template class BasicSplitOrderedMap<Bytes16Traits>;
 
 }  // namespace skiptrie

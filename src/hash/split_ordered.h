@@ -15,42 +15,51 @@
 //    on an external guard word (DESIGN.md §3.5(1) — used so a trie entry can
 //    never be installed pointing at a marked skiplist node).
 //
-// Keys and values are uint64_t; the trie stores encoded prefixes and
-// TreeNode pointers.  Values are immutable per entry.  All operations are
-// lock-free and internally pin the EBR domain (reentrant with callers' pins).
+// The map is a template over KeyTraits (DESIGN.md §6): keys are the traits'
+// ikey word (the trie stores encoded prefixes, which need W+1 value bits),
+// hashed through Traits::hash_mix into the 64-bit split-order key; values
+// stay uint64_t (packed TreeNode pointers) and are immutable per entry.
+// `using SplitOrderedMap = BasicSplitOrderedMap<U64Traits>` keeps the
+// historical name; U64Traits::hash_mix is the seed's mix64, byte for byte.
+// All operations are lock-free and internally pin the EBR domain (reentrant
+// with callers' pins).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <optional>
 
+#include "common/key_traits.h"
 #include "dcss/dcss.h"
 #include "reclaim/ebr.h"
 
 namespace skiptrie {
 
-class SplitOrderedMap {
+template <typename Traits>
+class BasicSplitOrderedMap {
  public:
+  using Ikey = typename Traits::ikey_type;
+
   struct HNode {
     uint64_t so_key;              // split-order key (reversed hash | lsb)
-    uint64_t key;                 // user key (0 for dummies)
+    Ikey key;                     // user key (0 for dummies)
     uint64_t value;               // user value (immutable)
     std::atomic<uint64_t> next;   // tagged word: HNode* | kMark | kDesc
   };
 
   // ctx.ebr is used both for node reclamation and DCSS descriptors.
-  explicit SplitOrderedMap(DcssContext ctx, size_t max_buckets = 1u << 20);
-  ~SplitOrderedMap();
+  explicit BasicSplitOrderedMap(DcssContext ctx, size_t max_buckets = 1u << 20);
+  ~BasicSplitOrderedMap();
 
-  SplitOrderedMap(const SplitOrderedMap&) = delete;
-  SplitOrderedMap& operator=(const SplitOrderedMap&) = delete;
+  BasicSplitOrderedMap(const BasicSplitOrderedMap&) = delete;
+  BasicSplitOrderedMap& operator=(const BasicSplitOrderedMap&) = delete;
 
   // Insert key -> value.  Returns false if key is already present.
   // When guard != nullptr the linking CAS becomes
   //   DCSS(link, expected, new_node, *guard, guard_expected)
   // and the insert fails (returns false, *guard_failed=true if non-null)
   // when the guard word no longer holds guard_expected.
-  bool insert(uint64_t key, uint64_t value,
+  bool insert(Ikey key, uint64_t value,
               std::atomic<uint64_t>* guard = nullptr,
               uint64_t guard_expected = 0, bool* guard_failed = nullptr);
 
@@ -63,14 +72,14 @@ class SplitOrderedMap {
   // ancestor's dummy and the target position, inflating the probe count far
   // past the O(1)-expected chain walk; initialization is a one-time cost
   // per bucket, amortized O(1).
-  std::optional<uint64_t> lookup(uint64_t key) const;
+  std::optional<uint64_t> lookup(Ikey key) const;
 
   // Remove key unconditionally.  Returns the removed value if any.
-  std::optional<uint64_t> erase(uint64_t key);
+  std::optional<uint64_t> erase(Ikey key);
 
   // Remove key iff it currently maps to expected_value (paper's
   // compareAndDelete(p, n)).
-  bool compare_and_delete(uint64_t key, uint64_t expected_value);
+  bool compare_and_delete(Ikey key, uint64_t expected_value);
 
   size_t size() const { return count_.load(std::memory_order_relaxed); }
   size_t bucket_count() const { return buckets_.load(std::memory_order_relaxed); }
@@ -108,8 +117,8 @@ class SplitOrderedMap {
   // Items per bucket before growing.  1 (not the classic 2): the x-fast
   // binary search pays a chain walk per probe, so chain slack multiplies
   // ~log B times per predecessor query; trading directory memory (8 bytes
-  // per slot + one 32-byte dummy per initialized bucket) for half the
-  // expected chain length is the right side of the bargain here.
+  // per slot + one dummy per initialized bucket) for half the expected
+  // chain length is the right side of the bargain here.
   static constexpr size_t kLoadFactor = 1;
 
  private:
@@ -122,11 +131,11 @@ class SplitOrderedMap {
     uint64_t curr_word;           // link value observed in *prev
   };
 
-  static uint64_t hash_of(uint64_t key);
-  static uint64_t regular_so_key(uint64_t key);
+  static uint64_t hash_of(Ikey key);
+  static uint64_t regular_so_key(Ikey key);
   static uint64_t dummy_so_key(uint64_t bucket);
-  static bool node_less(uint64_t a_so, uint64_t a_key, uint64_t b_so,
-                        uint64_t b_key) {
+  static bool node_less(uint64_t a_so, Ikey a_key, uint64_t b_so,
+                        Ikey b_key) {
     return a_so < b_so || (a_so == b_so && a_key < b_key);
   }
 
@@ -139,7 +148,7 @@ class SplitOrderedMap {
 
   // Harris-style search in the list starting at `head` for (so_key,key);
   // unlinks marked nodes it passes (cleanup=true) or skips them (false).
-  FindResult find(HNode* head, uint64_t so_key, uint64_t key,
+  FindResult find(HNode* head, uint64_t so_key, Ikey key,
                   bool cleanup) const;
 
   void maybe_grow();
@@ -152,5 +161,8 @@ class SplitOrderedMap {
   mutable std::atomic<BucketSlot*> segments_[kMaxSegments];
   HNode* list_head_;  // dummy of bucket 0, so_key 0
 };
+
+// The historical u64 fast-path name.
+using SplitOrderedMap = BasicSplitOrderedMap<U64Traits>;
 
 }  // namespace skiptrie

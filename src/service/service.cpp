@@ -6,7 +6,8 @@ namespace skiptrie {
 
 using Clock = std::chrono::steady_clock;
 
-Service::Service(const ServiceConfig& cfg)
+template <typename Traits>
+BasicService<Traits>::BasicService(const ServiceConfig& cfg)
     : cfg_(cfg), engine_(cfg.shards, cfg.trie) {
   queues_.reserve(cfg.shards);
   workers_.reserve(cfg.shards);
@@ -18,9 +19,13 @@ Service::Service(const ServiceConfig& cfg)
   }
 }
 
-Service::~Service() { stop(); }
+template <typename Traits>
+BasicService<Traits>::~BasicService() {
+  stop();
+}
 
-void Service::stop() {
+template <typename Traits>
+void BasicService<Traits>::stop() {
   if (stopped_) return;
   stopped_ = true;
   stopping_.store(true, std::memory_order_release);
@@ -32,8 +37,9 @@ void Service::stop() {
   for (auto& w : workers_) w.join();
 }
 
-void Service::complete(RequestState& st) {
-  ServiceResult r;
+template <typename Traits>
+void BasicService<Traits>::complete(RequestState& st) {
+  Result r;
   r.results = std::move(st.results);
   if (st.has_promise) {
     st.promise.set_value(std::move(r));
@@ -42,23 +48,27 @@ void Service::complete(RequestState& st) {
   }
 }
 
-std::future<ServiceResult> Service::submit(std::vector<ServiceOpItem> ops) {
+template <typename Traits>
+auto BasicService<Traits>::submit(std::vector<OpItem> ops)
+    -> std::future<Result> {
   auto st = std::make_shared<RequestState>();
   st->ops = std::move(ops);
   st->has_promise = true;
-  std::future<ServiceResult> f = st->promise.get_future();
+  std::future<Result> f = st->promise.get_future();
   submit_split(std::move(st));
   return f;
 }
 
-void Service::submit(std::vector<ServiceOpItem> ops, Callback cb) {
+template <typename Traits>
+void BasicService<Traits>::submit(std::vector<OpItem> ops, Callback cb) {
   auto st = std::make_shared<RequestState>();
   st->ops = std::move(ops);
   st->cb = std::move(cb);
   submit_split(std::move(st));
 }
 
-void Service::submit_split(std::shared_ptr<RequestState> st) {
+template <typename Traits>
+void BasicService<Traits>::submit_split(std::shared_ptr<RequestState> st) {
   assert(!stopped_);
   auto& c = tls_counters();
   c.service_requests++;
@@ -99,17 +109,18 @@ void Service::submit_split(std::shared_ptr<RequestState> st) {
   }
 }
 
-void Service::run_subtask(const SubTask& t) {
+template <typename Traits>
+void BasicService<Traits>::run_subtask(const SubTask& t) {
   auto& ops = t.req->ops;
   auto& results = t.req->results;
   // Flush maximal same-op runs through the engine's batch API: every key of
   // a run lives on this worker's shard, so each flush is exactly one
   // sub-batch (one cursor stream) there, and results scatter back to the
   // request's input positions.
-  std::vector<uint64_t> keys;
+  std::vector<key_type> keys;
   std::vector<uint32_t> run;
   std::vector<uint8_t> r8;
-  std::vector<std::optional<uint64_t>> rp;
+  std::vector<std::optional<key_type>> rp;
   size_t i = 0;
   while (i < t.idx.size()) {
     const ServiceOp op = ops[t.idx[i]].op;
@@ -154,7 +165,8 @@ void Service::run_subtask(const SubTask& t) {
   }
 }
 
-void Service::worker_loop(uint32_t shard) {
+template <typename Traits>
+void BasicService<Traits>::worker_loop(uint32_t shard) {
   ShardQueue& q = *queues_[shard];
   auto& c = tls_counters();
   const StepCounters base = c;
@@ -179,5 +191,8 @@ void Service::worker_loop(uint32_t shard) {
   std::lock_guard<std::mutex> lk(counters_mu_);
   worker_counters_ += c - base;
 }
+
+template class BasicService<U64Traits>;
+template class BasicService<Bytes16Traits>;
 
 }  // namespace skiptrie

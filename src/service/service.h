@@ -25,6 +25,11 @@
 // individually, exactly like a direct engine call — a request is a
 // performance construct, not a transaction.
 //
+// Templated on KeyTraits like the engine below it (DESIGN.md §6): the op
+// items, results and routing all run in the traits' key word, so a
+// BasicService<Bytes16Traits> serves encoded byte-string/IPv6 keys through
+// the identical queue protocol.  `Service` is the u64 alias.
+//
 // Queueing attribution (schema v5, DESIGN.md §5.4): submitters count
 // service_requests / service_subtasks / queue_full_waits / queue_depth_sum;
 // workers count queue_wait_ns plus all the engine counters their execution
@@ -52,21 +57,29 @@ namespace skiptrie {
 
 enum class ServiceOp : uint8_t { kInsert = 0, kErase, kContains, kPredecessor };
 
-struct ServiceOpItem {
+template <typename Traits>
+struct BasicServiceOpItem {
   ServiceOp op;
-  uint64_t key;
+  typename Traits::key_type key;
 };
 
 // One per-op answer: `ok` is the boolean result (insert/erase success,
 // membership, predecessor-exists); `value` is the predecessor answer.
-struct OpResult {
+template <typename Traits>
+struct BasicOpResult {
   bool ok = false;
-  std::optional<uint64_t> value;
+  std::optional<typename Traits::key_type> value;
 };
 
-struct ServiceResult {
-  std::vector<OpResult> results;  // input order, one per submitted op
+template <typename Traits>
+struct BasicServiceResult {
+  // input order, one per submitted op
+  std::vector<BasicOpResult<Traits>> results;
 };
+
+using ServiceOpItem = BasicServiceOpItem<U64Traits>;
+using OpResult = BasicOpResult<U64Traits>;
+using ServiceResult = BasicServiceResult<U64Traits>;
 
 struct ServiceConfig {
   uint32_t shards = 1;      // power of two (ShardedEngine's rule)
@@ -74,23 +87,28 @@ struct ServiceConfig {
   size_t queue_capacity = 1024;  // subtasks per shard queue before blocking
 };
 
-class Service {
+template <typename Traits>
+class BasicService {
  public:
-  using Callback = std::function<void(ServiceResult)>;
+  using key_type = typename Traits::key_type;
+  using OpItem = BasicServiceOpItem<Traits>;
+  using Result = BasicServiceResult<Traits>;
+  using Engine = BasicShardedEngine<Traits>;
+  using Callback = std::function<void(Result)>;
 
-  explicit Service(const ServiceConfig& cfg = ServiceConfig{});
-  ~Service();  // stop()s
+  explicit BasicService(const ServiceConfig& cfg = ServiceConfig{});
+  ~BasicService();  // stop()s
 
-  Service(const Service&) = delete;
-  Service& operator=(const Service&) = delete;
+  BasicService(const BasicService&) = delete;
+  BasicService& operator=(const BasicService&) = delete;
 
   // Submit a batch; the future is fulfilled by the worker that completes
   // the request's last subtask.  An empty batch completes immediately.
-  std::future<ServiceResult> submit(std::vector<ServiceOpItem> ops);
+  std::future<Result> submit(std::vector<OpItem> ops);
   // Callback flavor: `cb` runs on the last-finishing worker thread (or the
   // submitting thread for an empty batch); it must not block on the queues
   // of the service that invoked it.
-  void submit(std::vector<ServiceOpItem> ops, Callback cb);
+  void submit(std::vector<OpItem> ops, Callback cb);
 
   // Drain every queued subtask, join the workers, and fold their
   // thread-local counters into worker_counters().  Idempotent; implied by
@@ -102,16 +120,16 @@ class Service {
   const StepCounters& worker_counters() const { return worker_counters_; }
 
   // The engine, for direct (non-queued) access: prefill, verification.
-  ShardedEngine& engine() { return engine_; }
-  const ShardedEngine& engine() const { return engine_; }
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
   const ServiceConfig& config() const { return cfg_; }
 
  private:
   struct RequestState {
-    std::vector<ServiceOpItem> ops;
-    std::vector<OpResult> results;
+    std::vector<OpItem> ops;
+    std::vector<BasicOpResult<Traits>> results;
     std::atomic<uint32_t> pending{0};
-    std::promise<ServiceResult> promise;
+    std::promise<Result> promise;
     bool has_promise = false;
     Callback cb;
   };
@@ -133,7 +151,7 @@ class Service {
   void worker_loop(uint32_t shard);
 
   ServiceConfig cfg_;
-  ShardedEngine engine_;
+  Engine engine_;
   std::vector<std::unique_ptr<ShardQueue>> queues_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};
@@ -141,5 +159,7 @@ class Service {
   std::mutex counters_mu_;
   StepCounters worker_counters_;
 };
+
+using Service = BasicService<U64Traits>;
 
 }  // namespace skiptrie

@@ -17,12 +17,15 @@ uint32_t log2_exact(uint32_t pow2) {
 
 }  // namespace
 
-ShardedEngine::ShardedEngine(uint32_t shards, const Config& cfg) : cfg_(cfg) {
+template <typename Traits>
+BasicShardedEngine<Traits>::BasicShardedEngine(uint32_t shards,
+                                               const Config& cfg)
+    : cfg_(cfg) {
   assert(shards >= 1 && (shards & (shards - 1)) == 0);
   shard_bits_ = log2_exact(shards);
   assert(shard_bits_ == 0 || cfg.universe_bits >= shard_bits_ + 4);
   low_bits_ = cfg.universe_bits - shard_bits_;
-  low_mask_ = low_bits_ >= 64 ? ~0ull : ((1ull << low_bits_) - 1);
+  low_mask_ = Traits::universe_mask(low_bits_);
   shards_.reserve(shards);
   for (uint32_t s = 0; s < shards; ++s) {
     // Shard 0 at N=1 gets the caller's exact Config (pass-through); a real
@@ -31,69 +34,83 @@ ShardedEngine::ShardedEngine(uint32_t shards, const Config& cfg) : cfg_(cfg) {
     // depends only on its shard-local identity and runs stay seed-stable.
     Config scfg = cfg;
     scfg.universe_bits = low_bits_;
-    shards_.push_back(std::make_unique<SkipTrie>(scfg));
+    shards_.push_back(std::make_unique<Trie>(scfg));
   }
 }
 
-uint64_t ShardedEngine::max_key() const {
-  const uint64_t mask =
-      cfg_.universe_bits >= 64 ? ~0ull : ((1ull << cfg_.universe_bits) - 1);
-  return cfg_.universe_bits >= 64 ? mask - 2 : mask;
+template <typename Traits>
+auto BasicShardedEngine<Traits>::max_key() const -> key_type {
+  const key_type mask = Traits::universe_mask(cfg_.universe_bits);
+  return cfg_.universe_bits >= Traits::kMaxBits ? mask - key_type(2) : mask;
 }
 
-std::optional<uint64_t> ShardedEngine::max_below(uint32_t s) const {
+template <typename Traits>
+auto BasicShardedEngine<Traits>::max_below(uint32_t s) const
+    -> std::optional<key_type> {
   for (uint32_t t = s; t-- > 0;) {
-    const std::optional<uint64_t> m = shards_[t]->max_key_present();
+    const std::optional<key_type> m = shards_[t]->max_key_present();
     if (m.has_value()) return global_key(t, *m);
   }
   return std::nullopt;
 }
 
-std::optional<uint64_t> ShardedEngine::min_above(uint32_t s) const {
+template <typename Traits>
+auto BasicShardedEngine<Traits>::min_above(uint32_t s) const
+    -> std::optional<key_type> {
   for (uint32_t t = s + 1; t < shards_.size(); ++t) {
-    const std::optional<uint64_t> m = shards_[t]->min_key();
+    const std::optional<key_type> m = shards_[t]->min_key();
     if (m.has_value()) return global_key(t, *m);
   }
   return std::nullopt;
 }
 
-std::optional<uint64_t> ShardedEngine::predecessor(uint64_t key) const {
+template <typename Traits>
+auto BasicShardedEngine<Traits>::predecessor(key_type key) const
+    -> std::optional<key_type> {
   assert(key <= max_key());
   const uint32_t s = shard_of(key);
-  const std::optional<uint64_t> r = shards_[s]->predecessor(low_of(key));
+  const std::optional<key_type> r = shards_[s]->predecessor(low_of(key));
   if (r.has_value()) return global_key(s, *r);
   return max_below(s);
 }
 
-std::optional<uint64_t> ShardedEngine::strict_predecessor(uint64_t key) const {
+template <typename Traits>
+auto BasicShardedEngine<Traits>::strict_predecessor(key_type key) const
+    -> std::optional<key_type> {
   assert(key <= max_key());
   const uint32_t s = shard_of(key);
-  const std::optional<uint64_t> r = shards_[s]->strict_predecessor(low_of(key));
+  const std::optional<key_type> r = shards_[s]->strict_predecessor(low_of(key));
   if (r.has_value()) return global_key(s, *r);
   return max_below(s);
 }
 
-std::optional<uint64_t> ShardedEngine::successor(uint64_t key) const {
+template <typename Traits>
+auto BasicShardedEngine<Traits>::successor(key_type key) const
+    -> std::optional<key_type> {
   assert(key <= max_key());
   const uint32_t s = shard_of(key);
-  const std::optional<uint64_t> r = shards_[s]->successor(low_of(key));
+  const std::optional<key_type> r = shards_[s]->successor(low_of(key));
   if (r.has_value()) return global_key(s, *r);
   return min_above(s);
 }
 
-std::optional<uint64_t> ShardedEngine::min_key() const {
+template <typename Traits>
+auto BasicShardedEngine<Traits>::min_key() const -> std::optional<key_type> {
   for (uint32_t t = 0; t < shards_.size(); ++t) {
-    const std::optional<uint64_t> m = shards_[t]->min_key();
+    const std::optional<key_type> m = shards_[t]->min_key();
     if (m.has_value()) return global_key(t, *m);
   }
   return std::nullopt;
 }
 
-std::optional<uint64_t> ShardedEngine::max_key_present() const {
+template <typename Traits>
+auto BasicShardedEngine<Traits>::max_key_present() const
+    -> std::optional<key_type> {
   return max_below(static_cast<uint32_t>(shards_.size()));
 }
 
-size_t ShardedEngine::size() const {
+template <typename Traits>
+size_t BasicShardedEngine<Traits>::size() const {
   size_t n = 0;
   for (const auto& s : shards_) n += s->size();
   return n;
@@ -106,11 +123,11 @@ namespace {
 // indices — to `run`.  Top-bits routing sorts by (shard, low), so shard
 // runs are contiguous in sorted order and each sub-batch arrives at its
 // shard pre-sorted (O(n) fast path) with duplicate order preserved.
-template <typename ShardOf, typename LowOf, typename Run>
-void split_sorted(const uint64_t* keys, size_t n, ShardOf shard_of,
-                  LowOf low_of, Run run) {
+template <typename K, typename ShardOf, typename LowOf, typename Run>
+void split_sorted(const K* keys, size_t n, ShardOf shard_of, LowOf low_of,
+                  Run run) {
   const std::vector<uint32_t> order = batch_detail::sorted_order(keys, n);
-  std::vector<uint64_t> low;
+  std::vector<K> low;
   std::vector<uint32_t> idx;
   size_t i = 0;
   while (i < n) {
@@ -132,8 +149,9 @@ void split_sorted(const uint64_t* keys, size_t n, ShardOf shard_of,
 
 }  // namespace
 
-size_t ShardedEngine::insert_batch(const uint64_t* keys, size_t n,
-                                   uint8_t* results) {
+template <typename Traits>
+size_t BasicShardedEngine<Traits>::insert_batch(const key_type* keys, size_t n,
+                                                uint8_t* results) {
   if (shard_bits_ == 0) {
     tls_counters().shard_batches++;
     return shards_[0]->insert_batch(keys, n, results);
@@ -141,9 +159,9 @@ size_t ShardedEngine::insert_batch(const uint64_t* keys, size_t n,
   size_t hits = 0;
   std::vector<uint8_t> scratch;
   split_sorted(
-      keys, n, [this](uint64_t k) { return shard_of(k); },
-      [this](uint64_t k) { return low_of(k); },
-      [&](uint32_t s, const std::vector<uint64_t>& low,
+      keys, n, [this](key_type k) { return shard_of(k); },
+      [this](key_type k) { return low_of(k); },
+      [&](uint32_t s, const std::vector<key_type>& low,
           const std::vector<uint32_t>& idx) {
         tls_counters().shard_batches++;
         if (results == nullptr) {
@@ -157,8 +175,9 @@ size_t ShardedEngine::insert_batch(const uint64_t* keys, size_t n,
   return hits;
 }
 
-size_t ShardedEngine::erase_batch(const uint64_t* keys, size_t n,
-                                  uint8_t* results) {
+template <typename Traits>
+size_t BasicShardedEngine<Traits>::erase_batch(const key_type* keys, size_t n,
+                                               uint8_t* results) {
   if (shard_bits_ == 0) {
     tls_counters().shard_batches++;
     return shards_[0]->erase_batch(keys, n, results);
@@ -166,9 +185,9 @@ size_t ShardedEngine::erase_batch(const uint64_t* keys, size_t n,
   size_t hits = 0;
   std::vector<uint8_t> scratch;
   split_sorted(
-      keys, n, [this](uint64_t k) { return shard_of(k); },
-      [this](uint64_t k) { return low_of(k); },
-      [&](uint32_t s, const std::vector<uint64_t>& low,
+      keys, n, [this](key_type k) { return shard_of(k); },
+      [this](key_type k) { return low_of(k); },
+      [&](uint32_t s, const std::vector<key_type>& low,
           const std::vector<uint32_t>& idx) {
         tls_counters().shard_batches++;
         if (results == nullptr) {
@@ -182,8 +201,10 @@ size_t ShardedEngine::erase_batch(const uint64_t* keys, size_t n,
   return hits;
 }
 
-size_t ShardedEngine::contains_batch(const uint64_t* keys, size_t n,
-                                     uint8_t* results) const {
+template <typename Traits>
+size_t BasicShardedEngine<Traits>::contains_batch(const key_type* keys,
+                                                  size_t n,
+                                                  uint8_t* results) const {
   if (shard_bits_ == 0) {
     tls_counters().shard_batches++;
     return shards_[0]->contains_batch(keys, n, results);
@@ -191,9 +212,9 @@ size_t ShardedEngine::contains_batch(const uint64_t* keys, size_t n,
   size_t hits = 0;
   std::vector<uint8_t> scratch;
   split_sorted(
-      keys, n, [this](uint64_t k) { return shard_of(k); },
-      [this](uint64_t k) { return low_of(k); },
-      [&](uint32_t s, const std::vector<uint64_t>& low,
+      keys, n, [this](key_type k) { return shard_of(k); },
+      [this](key_type k) { return low_of(k); },
+      [&](uint32_t s, const std::vector<key_type>& low,
           const std::vector<uint32_t>& idx) {
         tls_counters().shard_batches++;
         if (results == nullptr) {
@@ -208,28 +229,29 @@ size_t ShardedEngine::contains_batch(const uint64_t* keys, size_t n,
   return hits;
 }
 
-size_t ShardedEngine::predecessor_batch(const uint64_t* keys, size_t n,
-                                        std::optional<uint64_t>* results) const {
+template <typename Traits>
+size_t BasicShardedEngine<Traits>::predecessor_batch(
+    const key_type* keys, size_t n, std::optional<key_type>* results) const {
   if (shard_bits_ == 0) {
     tls_counters().shard_batches++;
     return shards_[0]->predecessor_batch(keys, n, results);
   }
   size_t hits = 0;
-  std::vector<std::optional<uint64_t>> scratch;
+  std::vector<std::optional<key_type>> scratch;
   // The cross-shard fallback is the same value for every empty-answer key
   // of one shard run, so it is resolved once per run, lazily.
   split_sorted(
-      keys, n, [this](uint64_t k) { return shard_of(k); },
-      [this](uint64_t k) { return low_of(k); },
-      [&](uint32_t s, const std::vector<uint64_t>& low,
+      keys, n, [this](key_type k) { return shard_of(k); },
+      [this](key_type k) { return low_of(k); },
+      [&](uint32_t s, const std::vector<key_type>& low,
           const std::vector<uint32_t>& idx) {
         tls_counters().shard_batches++;
         scratch.assign(low.size(), std::nullopt);
         shards_[s]->predecessor_batch(low.data(), low.size(), scratch.data());
         bool fallback_known = false;
-        std::optional<uint64_t> fallback;
+        std::optional<key_type> fallback;
         for (size_t k = 0; k < idx.size(); ++k) {
-          std::optional<uint64_t> r;
+          std::optional<key_type> r;
           if (scratch[k].has_value()) {
             r = global_key(s, *scratch[k]);
           } else {
@@ -246,13 +268,15 @@ size_t ShardedEngine::predecessor_batch(const uint64_t* keys, size_t n,
   return hits;
 }
 
-SkipTrie::StructureStats ShardedEngine::structure_stats() const {
-  SkipTrie::StructureStats agg;
+template <typename Traits>
+auto BasicShardedEngine<Traits>::structure_stats() const ->
+    typename Trie::StructureStats {
+  typename Trie::StructureStats agg;
   double gap_weight = 0;  // top-gap sample count = per-shard top_count
   for (const auto& sp : shards_) {
-    const SkipTrie::StructureStats s = sp->structure_stats();
+    const typename Trie::StructureStats s = sp->structure_stats();
     agg.keys += s.keys;
-    for (size_t l = 0; l <= SkipListEngine::kMaxLevels; ++l) {
+    for (size_t l = 0; l <= BasicSkipListEngine<Traits>::kMaxLevels; ++l) {
       agg.level_counts[l] += s.level_counts[l];
     }
     agg.top_count += s.top_count;
@@ -273,5 +297,8 @@ SkipTrie::StructureStats ShardedEngine::structure_stats() const {
           : 0.0;
   return agg;
 }
+
+template class BasicShardedEngine<U64Traits>;
+template class BasicShardedEngine<Bytes16Traits>;
 
 }  // namespace skiptrie

@@ -19,6 +19,13 @@
 // how the shard_test pins equivalence and how bench cells at shards=1
 // reproduce the unsharded engine.
 //
+// Like the whole stack below it, the engine is templated on KeyTraits
+// (DESIGN.md §6): the routing shifts/masks run in the traits' ikey word, so
+// a Bytes16Traits engine splits its 128-bit universe by the top bits of the
+// *encoded* key (for the IPv6 codec that means the top address bytes —
+// locality-preserving routing for free).  `ShardedEngine` remains the u64
+// alias every existing caller compiles against.
+//
 // Single-key ordered queries fall back across shards: a predecessor query
 // that comes up empty in its home shard takes the largest key of the
 // nearest non-empty lower shard (symmetrically for successor).  Each
@@ -48,52 +55,56 @@
 
 namespace skiptrie {
 
-class ShardedEngine {
+template <typename Traits>
+class BasicShardedEngine {
  public:
+  using key_type = typename Traits::key_type;
+  using Trie = BasicSkipTrie<Traits>;
+
   // `shards` must be a power of two >= 1, small enough to leave each shard
   // a >= 4-bit low-key universe (the SkipTrie minimum).
-  explicit ShardedEngine(uint32_t shards = 1, const Config& cfg = Config{});
+  explicit BasicShardedEngine(uint32_t shards = 1, const Config& cfg = Config{});
 
-  ShardedEngine(const ShardedEngine&) = delete;
-  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  BasicShardedEngine(const BasicShardedEngine&) = delete;
+  BasicShardedEngine& operator=(const BasicShardedEngine&) = delete;
 
   // --- Single-key operations (route by top bits) --------------------------
-  bool insert(uint64_t key) { return shards_[shard_of(key)]->insert(low_of(key)); }
-  bool erase(uint64_t key) { return shards_[shard_of(key)]->erase(low_of(key)); }
-  bool contains(uint64_t key) const {
+  bool insert(key_type key) { return shards_[shard_of(key)]->insert(low_of(key)); }
+  bool erase(key_type key) { return shards_[shard_of(key)]->erase(low_of(key)); }
+  bool contains(key_type key) const {
     return shards_[shard_of(key)]->contains(low_of(key));
   }
-  std::optional<uint64_t> predecessor(uint64_t key) const;
-  std::optional<uint64_t> strict_predecessor(uint64_t key) const;
-  std::optional<uint64_t> successor(uint64_t key) const;
-  std::optional<uint64_t> min_key() const;
-  std::optional<uint64_t> max_key_present() const;
+  std::optional<key_type> predecessor(key_type key) const;
+  std::optional<key_type> strict_predecessor(key_type key) const;
+  std::optional<key_type> successor(key_type key) const;
+  std::optional<key_type> min_key() const;
+  std::optional<key_type> max_key_present() const;
 
   // --- Batched operations (split/merge, DESIGN.md §4.3) --------------------
   // Same contract as SkipTrie: results (length n) in input order,
   // duplicates resolved in input order, return value = number of true
   // results.  At shards=1 these forward unmodified (zero-copy).
-  size_t insert_batch(const uint64_t* keys, size_t n, uint8_t* results = nullptr);
-  size_t erase_batch(const uint64_t* keys, size_t n, uint8_t* results = nullptr);
-  size_t contains_batch(const uint64_t* keys, size_t n,
+  size_t insert_batch(const key_type* keys, size_t n, uint8_t* results = nullptr);
+  size_t erase_batch(const key_type* keys, size_t n, uint8_t* results = nullptr);
+  size_t contains_batch(const key_type* keys, size_t n,
                         uint8_t* results = nullptr) const;
-  size_t predecessor_batch(const uint64_t* keys, size_t n,
-                           std::optional<uint64_t>* results = nullptr) const;
+  size_t predecessor_batch(const key_type* keys, size_t n,
+                           std::optional<key_type>* results = nullptr) const;
 
-  size_t insert_batch(const std::vector<uint64_t>& keys,
+  size_t insert_batch(const std::vector<key_type>& keys,
                       uint8_t* results = nullptr) {
     return insert_batch(keys.data(), keys.size(), results);
   }
-  size_t erase_batch(const std::vector<uint64_t>& keys,
+  size_t erase_batch(const std::vector<key_type>& keys,
                      uint8_t* results = nullptr) {
     return erase_batch(keys.data(), keys.size(), results);
   }
-  size_t contains_batch(const std::vector<uint64_t>& keys,
+  size_t contains_batch(const std::vector<key_type>& keys,
                         uint8_t* results = nullptr) const {
     return contains_batch(keys.data(), keys.size(), results);
   }
-  size_t predecessor_batch(const std::vector<uint64_t>& keys,
-                           std::optional<uint64_t>* results = nullptr) const {
+  size_t predecessor_batch(const std::vector<key_type>& keys,
+                           std::optional<key_type>* results = nullptr) const {
     return predecessor_batch(keys.data(), keys.size(), results);
   }
 
@@ -102,49 +113,54 @@ class ShardedEngine {
 
   uint32_t universe_bits() const { return cfg_.universe_bits; }
   // Largest *global* key this engine accepts: the unsharded SkipTrie's
-  // max_key for the same Config.  (At B = 64 the two sentinel-reserved top
+  // max_key for the same Config.  (At B = W the two sentinel-reserved top
   // keys stay excluded even though a multi-shard split could physically
   // represent them — the sharded engine must accept exactly the unsharded
   // key range.)
-  uint64_t max_key() const;
+  key_type max_key() const;
 
   uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
   uint32_t shard_bits() const { return shard_bits_; }
-  // Routing rule (public so tests can pin the bijection).
-  uint32_t shard_of(uint64_t key) const {
-    return shard_bits_ == 0 ? 0u
-                            : static_cast<uint32_t>(key >> low_bits_);
+  // Routing rule (public so tests can pin the bijection).  The shard index
+  // always fits 32 bits (shard_bits_ <= 28: W - 4 low bits minimum), so the
+  // shifted-down top word narrows losslessly through low_u64.
+  uint32_t shard_of(key_type key) const {
+    return shard_bits_ == 0
+               ? 0u
+               : static_cast<uint32_t>(Traits::low_u64(key >> low_bits_));
   }
-  uint64_t low_of(uint64_t key) const {
+  key_type low_of(key_type key) const {
     return shard_bits_ == 0 ? key : (key & low_mask_);
   }
-  uint64_t global_key(uint32_t shard, uint64_t low) const {
+  key_type global_key(uint32_t shard, key_type low) const {
     return shard_bits_ == 0 ? low
-                            : ((static_cast<uint64_t>(shard) << low_bits_) | low);
+                            : ((key_type(shard) << low_bits_) | low);
   }
 
   // Shard access for tests, benchmarks, and the service layer.
-  SkipTrie& shard(size_t i) { return *shards_[i]; }
-  const SkipTrie& shard(size_t i) const { return *shards_[i]; }
+  Trie& shard(size_t i) { return *shards_[i]; }
+  const Trie& shard(size_t i) const { return *shards_[i]; }
   const Config& config() const { return cfg_; }
 
   // Quiescent-only aggregate over the per-shard structure walks: additive
   // fields (keys, level/top counts, trie entries, bytes, buckets) sum;
   // max_top_gap takes the max; load factor and avg_top_gap are recomputed
   // from the summed numerators/denominators.
-  SkipTrie::StructureStats structure_stats() const;
+  typename Trie::StructureStats structure_stats() const;
 
  private:
   Config cfg_;                  // the caller's config (full universe)
   uint32_t shard_bits_ = 0;     // log2(shard count)
   uint32_t low_bits_ = 0;       // universe_bits - shard_bits
-  uint64_t low_mask_ = 0;
-  std::vector<std::unique_ptr<SkipTrie>> shards_;
+  key_type low_mask_ = key_type(0);
+  std::vector<std::unique_ptr<Trie>> shards_;
 
   // Largest global key in any shard strictly below `s`, or nullopt.
-  std::optional<uint64_t> max_below(uint32_t s) const;
+  std::optional<key_type> max_below(uint32_t s) const;
   // Smallest global key in any shard strictly above `s`, or nullopt.
-  std::optional<uint64_t> min_above(uint32_t s) const;
+  std::optional<key_type> min_above(uint32_t s) const;
 };
+
+using ShardedEngine = BasicShardedEngine<U64Traits>;
 
 }  // namespace skiptrie

@@ -20,10 +20,10 @@ namespace {
 constexpr uint64_t kTopEntryMaxGaps = 8;
 }  // namespace
 
-SkipListEngine::Bracket DescentCursor::seek(uint64_t x,
-                                            uint32_t cold_min_level,
-                                            StartFn fallback, void* env) {
-  SkipListEngine& e = *eng_;
+template <typename Traits>
+auto BasicDescentCursor<Traits>::seek(Ikey x, uint32_t cold_min_level,
+                                      StartFn fallback, void* env) -> Bracket {
+  Engine& e = *eng_;
   const uint32_t top = e.top_level();
   auto& c = tls_counters();
 
@@ -38,7 +38,7 @@ SkipListEngine::Bracket DescentCursor::seek(uint64_t x,
   const uint32_t eff_min = rows_real_ ? 0 : cold_min_level;
 
   const auto row_validates = [&](uint32_t l) {
-    Node* n = left_[l];
+    Node_t* n = left_[l];
     const NodeKind k = n->kind();
     if (k != NodeKind::kInterior && k != NodeKind::kHead) return false;
     if (n->level() != l) return false;
@@ -48,14 +48,14 @@ SkipListEngine::Bracket DescentCursor::seek(uint64_t x,
   // Run the descent from (start, lvl).  A cold seek head-fills only the
   // rows above its entry (the descent writes the rest), and any entry at
   // the top makes every row real.
-  const auto enter = [&](Node* start, uint32_t lvl, SearchFinger* f,
-                         uint64_t epoch) {
+  const auto enter = [&](Node_t* start, uint32_t lvl,
+                         BasicSearchFinger<Traits>* f, uint64_t epoch) {
     if (lvl == top) rows_real_ = true;
     if (!was_warm) {
       for (uint32_t l = lvl + 1; l <= top; ++l) {
         left_[l] = e.head_[l];
-        left_ikey_[l] = 0;
-        right_ikey_[l] = 0;
+        left_ikey_[l] = Ikey(0);
+        right_ikey_[l] = Ikey(0);
       }
     }
     return e.descend_from(x, start, lvl, left_, f, epoch, this);
@@ -67,8 +67,8 @@ SkipListEngine::Bracket DescentCursor::seek(uint64_t x,
   // Containment against the *recorded* right ikey plays the adjacency
   // role: everything between left and x at seek time is at most what has
   // been inserted into the bracket since it was recorded.
-  int cl = SearchFinger::kMiss;
-  Node* cstart = nullptr;
+  int cl = BasicSearchFinger<Traits>::kMiss;
+  Node_t* cstart = nullptr;
   if (was_warm) {
     for (uint32_t l = eff_min; l <= top; ++l) {
       if (!(left_ikey_[l] < x && x <= right_ikey_[l])) continue;
@@ -84,9 +84,9 @@ SkipListEngine::Bracket DescentCursor::seek(uint64_t x,
   // a many-way cache over the whole key space, and either may offer the
   // lower entry.
   if (e.finger_on_) {
-    SearchFinger& f = e.finger();
+    BasicSearchFinger<Traits>& f = e.finger();
     const uint64_t now = e.ctx_.ebr->global_epoch();
-    Node* fstart = nullptr;
+    Node_t* fstart = nullptr;
     const int fl = f.try_start(x, eff_min, now, &fstart);
     if (fl >= 0 && (cl < 0 || fl < cl)) {
       // A warm seek the finger serves below the cursor's bracket is still a
@@ -116,12 +116,12 @@ SkipListEngine::Bracket DescentCursor::seek(uint64_t x,
       if (top_entry_usable(x) && row_validates(top)) {
         return enter(left_[top], top, &f, now);
       }
-      Node* start = fallback != nullptr ? fallback(env, x) : e.head_[top];
+      Node_t* start = fallback != nullptr ? fallback(env, x) : e.head_[top];
       const uint32_t lvl = e.resolve_start(x, start);
       return enter(start, lvl, &f, now);
     }
     c.finger_misses++;
-    Node* start = fallback != nullptr ? fallback(env, x) : e.head_[top];
+    Node_t* start = fallback != nullptr ? fallback(env, x) : e.head_[top];
     const uint32_t lvl = e.resolve_start(x, start);
     return enter(start, lvl, &f, now);
   }
@@ -136,21 +136,23 @@ SkipListEngine::Bracket DescentCursor::seek(uint64_t x,
       return enter(left_[top], top, nullptr, 0);
     }
   }
-  Node* start = fallback != nullptr ? fallback(env, x) : e.head_[top];
+  Node_t* start = fallback != nullptr ? fallback(env, x) : e.head_[top];
   const uint32_t lvl = e.resolve_start(x, start);
   return enter(start, lvl, nullptr, 0);
 }
 
-bool DescentCursor::top_entry_usable(uint64_t x) const {
+template <typename Traits>
+bool BasicDescentCursor<Traits>::top_entry_usable(Ikey x) const {
   const uint32_t top = eng_->top_level();
   if (!(left_ikey_[top] < x)) return false;  // descending/jumped-back stream
-  const uint64_t width = right_ikey_[top] - left_ikey_[top];
-  if (width == 0) return false;  // never-traversed row (0, 0)
-  return (x - left_ikey_[top]) / width <= kTopEntryMaxGaps;
+  const Ikey width = right_ikey_[top] - left_ikey_[top];
+  if (width == Ikey(0)) return false;  // never-traversed row (0, 0)
+  return (x - left_ikey_[top]) / width <= Ikey(kTopEntryMaxGaps);
 }
 
-void DescentCursor::note_insert(const SkipListEngine::InsertResult& r,
-                                uint64_t x, uint32_t height) {
+template <typename Traits>
+void BasicDescentCursor<Traits>::note_insert(
+    const typename Engine::InsertResult& r, Ikey x, uint32_t height) {
   if (!r.inserted) return;  // duplicate: the seek already recorded the rows
   // The new level-0 node is the tightest possible left anchor for the next
   // ascending key; the old right bound still holds (the tower was linked
@@ -167,7 +169,8 @@ void DescentCursor::note_insert(const SkipListEngine::InsertResult& r,
   }
 }
 
-void DescentCursor::note_erase(uint64_t x) {
+template <typename Traits>
+void BasicDescentCursor<Traits>::note_erase(Ikey x) {
   (void)x;
   // The tower sweep advanced the hints at every level it searched; re-stamp
   // their ikeys.  Rows whose right bound *was* the erased key keep
@@ -188,19 +191,28 @@ namespace {
 // lazy sweep of the shared dead-owner journal (DESIGN.md §4.2).  A slot is
 // never rebound while its owner lives, so cursors fetched for different
 // engines never alias and a shard's stream state survives the thread
-// visiting every other shard in between.
+// visiting every other shard in between.  One registry per traits
+// instantiation, like the finger's.
+template <typename Traits>
 struct CursorSlot {
   uint64_t owner = 0;
-  std::unique_ptr<DescentCursor> cur;
+  std::unique_ptr<BasicDescentCursor<Traits>> cur;
 };
+template <typename Traits>
 struct CursorRegistry {
-  std::vector<CursorSlot> slots;
+  std::vector<CursorSlot<Traits>> slots;
   uint64_t seen_dead = 0;
   std::vector<uint64_t> scratch;
 };
-thread_local CursorRegistry tl_cursor_reg;
 
-void sweep_dead_cursors(CursorRegistry& reg) {
+template <typename Traits>
+CursorRegistry<Traits>& tl_cursor_reg() {
+  thread_local CursorRegistry<Traits> reg;
+  return reg;
+}
+
+template <typename Registry>
+void sweep_dead_cursors(Registry& reg) {
   const uint64_t v = detail::dead_owner_version();
   if (v == reg.seen_dead) return;
   reg.seen_dead = detail::dead_owners_since(reg.seen_dead, reg.scratch);
@@ -216,8 +228,10 @@ void sweep_dead_cursors(CursorRegistry& reg) {
 
 }  // namespace
 
-DescentCursor& tls_cursor(uint64_t owner, SkipListEngine& engine) {
-  CursorRegistry& reg = tl_cursor_reg;
+template <typename Traits>
+BasicDescentCursor<Traits>& tls_cursor(uint64_t owner,
+                                       BasicSkipListEngine<Traits>& engine) {
+  CursorRegistry<Traits>& reg = tl_cursor_reg<Traits>();
   sweep_dead_cursors(reg);
   for (size_t i = 0; i < reg.slots.size(); ++i) {
     if (reg.slots[i].owner == owner) {
@@ -228,16 +242,30 @@ DescentCursor& tls_cursor(uint64_t owner, SkipListEngine& engine) {
       return *reg.slots[i].cur;
     }
   }
-  CursorSlot s;
+  CursorSlot<Traits> s;
   s.owner = owner;
-  s.cur = std::make_unique<DescentCursor>(engine);
+  s.cur = std::make_unique<BasicDescentCursor<Traits>>(engine);
   reg.slots.push_back(std::move(s));
   return *reg.slots.back().cur;
 }
 
-size_t tls_cursor_registry_size() {
-  sweep_dead_cursors(tl_cursor_reg);
-  return tl_cursor_reg.slots.size();
+template <typename Traits>
+size_t tls_cursor_registry_size_of() {
+  CursorRegistry<Traits>& reg = tl_cursor_reg<Traits>();
+  sweep_dead_cursors(reg);
+  return reg.slots.size();
 }
+
+size_t tls_cursor_registry_size() {
+  return tls_cursor_registry_size_of<U64Traits>();
+}
+
+template class BasicDescentCursor<U64Traits>;
+template class BasicDescentCursor<Bytes16Traits>;
+template DescentCursor& tls_cursor<U64Traits>(uint64_t, SkipListEngine&);
+template BasicDescentCursor<Bytes16Traits>& tls_cursor<Bytes16Traits>(
+    uint64_t, BasicSkipListEngine<Bytes16Traits>&);
+template size_t tls_cursor_registry_size_of<U64Traits>();
+template size_t tls_cursor_registry_size_of<Bytes16Traits>();
 
 }  // namespace skiptrie

@@ -26,6 +26,10 @@
 // never-reused engine owner id as the finger registry), so consecutive
 // batches skip the cold first descent too; rows retained across calls are
 // as stale as any finger entry and pass through the same screens.
+//
+// Like the engine and finger, the cursor is a template over KeyTraits
+// (DESIGN.md §6) — retained ikeys take the traits' ikey word, and each
+// instantiation keeps its own per-thread registry.
 #pragma once
 
 #include <cstdint>
@@ -34,20 +38,24 @@
 
 namespace skiptrie {
 
-class DescentCursor {
+template <typename Traits>
+class BasicDescentCursor {
  public:
-  using Bracket = SkipListEngine::Bracket;
-  using StartFn = SkipListEngine::StartFn;
+  using Engine = BasicSkipListEngine<Traits>;
+  using Ikey = typename Traits::ikey_type;
+  using Node_t = NodeT<Ikey>;
+  using Bracket = typename Engine::Bracket;
+  using StartFn = typename Engine::StartFn;
 
-  explicit DescentCursor(SkipListEngine& engine) : eng_(&engine) {}
+  explicit BasicDescentCursor(Engine& engine) : eng_(&engine) {}
 
-  DescentCursor(const DescentCursor&) = delete;
-  DescentCursor& operator=(const DescentCursor&) = delete;
+  BasicDescentCursor(const BasicDescentCursor&) = delete;
+  BasicDescentCursor& operator=(const BasicDescentCursor&) = delete;
 
   // Re-seat this cursor onto another engine; drops every retained bracket.
   // The tls registry never calls this (slots are stable per owner,
   // DESIGN.md §4.2) — it exists for callers that own a cursor directly.
-  void rebind(SkipListEngine& engine) {
+  void rebind(Engine& engine) {
     eng_ = &engine;
     warm_ = false;
     rows_real_ = false;
@@ -62,12 +70,11 @@ class DescentCursor {
   // Write streams pass cold_min_level = top so that every retained row is
   // descent-fresh or a prior row, never a bare level head (their raise and
   // tower-sweep phases consume hints at every level; see cursor.cpp).
-  Bracket seek(uint64_t x, uint32_t cold_min_level, StartFn fallback,
-               void* env);
+  Bracket seek(Ikey x, uint32_t cold_min_level, StartFn fallback, void* env);
 
   // Per-level left hints of the last seek (size engine.top_level()+1),
   // in the exact shape insert_from/erase_from consume (and mutate).
-  Node** hints() { return left_; }
+  Node_t** hints() { return left_; }
 
   bool warm() const { return warm_; }
   // Drop every retained bracket; the next seek takes the cold path.
@@ -80,21 +87,21 @@ class DescentCursor {
   // retained brackets: the new tower becomes the level-0 left anchor and
   // the raise-refreshed hints get matching ikeys, so the next ascending
   // key enters beside the key just inserted.
-  void note_insert(const SkipListEngine::InsertResult& r, uint64_t x,
+  void note_insert(const typename Engine::InsertResult& r, Ikey x,
                    uint32_t height);
   // Fold a just-completed erase of x into the retained brackets (the tower
   // sweep moved the hints; re-stamp their ikeys so the reuse screen and the
   // identity validation agree on what was recorded).
-  void note_erase(uint64_t x);
+  void note_erase(Ikey x);
 
  private:
-  friend class SkipListEngine;
+  friend class BasicSkipListEngine<Traits>;
 
   // Short-jump screen for entering a redescent at the retained top row
   // rather than the fallback (see kTopEntryMaxGaps in cursor.cpp).
-  bool top_entry_usable(uint64_t x) const;
+  bool top_entry_usable(Ikey x) const;
 
-  SkipListEngine* eng_;
+  Engine* eng_;
   bool warm_ = false;
   // True once some descent entered at the top, i.e. every row holds a real
   // bracket rather than the bare level heads a cold partial descent leaves
@@ -104,9 +111,9 @@ class DescentCursor {
   // Rows 0..engine.top_level().  A row not yet traversed by any seek holds
   // (head, 0, 0): a valid search start, but right_ikey_ = 0 can never
   // contain a target (ikeys are >= 1), so it is never "reused".
-  Node* left_[SkipListEngine::kMaxLevels + 1];
-  uint64_t left_ikey_[SkipListEngine::kMaxLevels + 1];
-  uint64_t right_ikey_[SkipListEngine::kMaxLevels + 1];
+  Node_t* left_[Engine::kMaxLevels + 1];
+  Ikey left_ikey_[Engine::kMaxLevels + 1];
+  Ikey right_ikey_[Engine::kMaxLevels + 1];
 };
 
 // The calling thread's persistent cursor for the engine identified by
@@ -115,10 +122,18 @@ class DescentCursor {
 // the same engine's cursor — until that engine is destroyed; fetching
 // cursors for any number of other engines never rebinds it (DESIGN.md
 // §4.2).  Dead owners are swept lazily via the shared journal in
-// finger.cpp.
-DescentCursor& tls_cursor(uint64_t owner, SkipListEngine& engine);
+// finger.cpp.  One registry per traits instantiation.
+template <typename Traits>
+BasicDescentCursor<Traits>& tls_cursor(uint64_t owner,
+                                       BasicSkipListEngine<Traits>& engine);
 
-// Test hook: number of live slots in the calling thread's cursor registry.
+// Test hook: number of live slots in the calling thread's cursor registry
+// for this traits instantiation.
+template <typename Traits>
+size_t tls_cursor_registry_size_of();
+
+// The historical u64 names.
+using DescentCursor = BasicDescentCursor<U64Traits>;
 size_t tls_cursor_registry_size();
 
 }  // namespace skiptrie

@@ -24,59 +24,71 @@ constexpr uint32_t kEqualRunLimit = 64;
 
 }  // namespace
 
-SkipListEngine::SkipListEngine(DcssContext ctx, SlabArena& arena,
-                               uint32_t top_level)
+template <typename Traits>
+BasicSkipListEngine<Traits>::BasicSkipListEngine(DcssContext ctx,
+                                                 SlabArena& arena,
+                                                 uint32_t top_level)
     : ctx_(ctx), arena_(arena), top_(top_level) {
   assert(top_ >= 1 && top_ <= kMaxLevels);
-  assert(arena_.block_size() >= sizeof(Node));
+  assert(arena_.block_size() >= sizeof(Node_t));
   bool fresh = false;
-  tail_ = new (arena_.allocate(&fresh)) Node();
-  tail_->init(UINT64_MAX, 0xfe, 0, NodeKind::kTail, nullptr, nullptr);
+  tail_ = new (arena_.allocate(&fresh)) Node_t();
+  tail_->init(Traits::ikey_max(), 0xfe, 0, NodeKind::kTail, nullptr, nullptr);
   for (uint32_t l = 0; l <= top_; ++l) {
-    head_[l] = new (arena_.allocate(&fresh)) Node();
-    head_[l]->init(0, l, top_, NodeKind::kHead,
+    head_[l] = new (arena_.allocate(&fresh)) Node_t();
+    head_[l]->init(Ikey(0), l, top_, NodeKind::kHead,
                    l > 0 ? head_[l - 1] : nullptr, nullptr);
     head_[l]->next.store(pack_ptr(tail_), std::memory_order_release);
   }
 }
 
-SkipListEngine::~SkipListEngine() {
+template <typename Traits>
+BasicSkipListEngine<Traits>::~BasicSkipListEngine() {
   // Arena owns all node storage; the only cleanup is publishing this
   // engine's owner id to the dead-owner journal so every thread's
   // finger/cursor registry slots for it are reclaimed (DESIGN.md §4.2).
   release_finger_owner(finger_owner_);
 }
 
-DescentCursor& SkipListEngine::cursor() { return tls_cursor(finger_owner_, *this); }
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::cursor() -> Cursor& {
+  return tls_cursor<Traits>(finger_owner_, *this);
+}
 
-Node* SkipListEngine::make_node(uint64_t ikey, uint32_t level,
-                                uint32_t orig_height, Node* down, Node* root) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::make_node(Ikey ikey, uint32_t level,
+                                            uint32_t orig_height, Node_t* down,
+                                            Node_t* root) -> Node_t* {
   bool fresh = false;
   void* storage = arena_.allocate(&fresh);
   // Recycled blocks still hold a live (poisoned) Node — re-initialize in
   // place; only brand-new storage gets placement-new (DESIGN.md §3.3).
-  Node* n = fresh ? new (storage) Node() : static_cast<Node*>(storage);
+  Node_t* n = fresh ? new (storage) Node_t() : static_cast<Node_t*>(storage);
   n->init(ikey, level, orig_height, NodeKind::kInterior, down, root);
   return n;
 }
 
-void SkipListEngine::retire_node(Node* n) {
+template <typename Traits>
+void BasicSkipListEngine<Traits>::retire_node(Node_t* n) {
   tls_counters().retired_nodes++;
   ctx_.ebr->retire(
       n,
       +[](void* p, void* a) {
-        auto* node = static_cast<Node*>(p);
+        auto* node = static_cast<Node_t*>(p);
         node->poison();
         static_cast<SlabArena*>(a)->recycle(node);
       },
       &arena_);
 }
 
-void SkipListEngine::retire_owned(const EraseResult& r) {
+template <typename Traits>
+void BasicSkipListEngine<Traits>::retire_owned(const EraseResult& r) {
   for (uint32_t i = 0; i < r.owned_count; ++i) retire_node(r.owned[i]);
 }
 
-bool SkipListEngine::usable_start(Node* n, uint64_t x, uint32_t level) const {
+template <typename Traits>
+bool BasicSkipListEngine<Traits>::usable_start(Node_t* n, Ikey x,
+                                               uint32_t level) const {
   if (n == nullptr) return false;
   const NodeKind k = n->kind();
   if (k != NodeKind::kInterior && k != NodeKind::kHead) return false;
@@ -84,17 +96,18 @@ bool SkipListEngine::usable_start(Node* n, uint64_t x, uint32_t level) const {
   return n->ikey() < x;
 }
 
-SkipListEngine::Bracket SkipListEngine::list_search(uint64_t x, Node* start,
-                                                    uint32_t level) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::list_search(Ikey x, Node_t* start,
+                                              uint32_t level) -> Bracket {
   assert(level <= top_);
   auto& c = tls_counters();
-  Node* left = start;
+  Node_t* left = start;
   for (;;) {
     if (!usable_start(left, x, level)) {
       c.restarts++;
       left = head_[level];
     }
-    Node* pred = left;
+    Node_t* pred = left;
     const uint64_t pred_word = dcss_read(pred->next);
     if (is_marked(pred_word)) {
       // Our anchor got marked: recover through its back pointer (validated
@@ -104,7 +117,7 @@ SkipListEngine::Bracket SkipListEngine::list_search(uint64_t x, Node* start,
       left = pred->back.load(std::memory_order_acquire);
       continue;
     }
-    Node* curr = unpack_ptr<Node>(pred_word);
+    Node_t* curr = unpack_ptr<Node_t>(pred_word);
     bool restart = false;
     while (!restart) {
       if (curr == nullptr) {  // defensive: only poisoned chains end in null
@@ -128,19 +141,20 @@ SkipListEngine::Bracket SkipListEngine::list_search(uint64_t x, Node* start,
           restart = true;
           break;
         }
-        curr = unpack_ptr<Node>(without_tags(curr_word));
+        curr = unpack_ptr<Node_t>(without_tags(curr_word));
         continue;
       }
       if (curr->ikey() >= x) {
         return Bracket{pred, curr};
       }
       pred = curr;
-      curr = unpack_ptr<Node>(curr_word);
+      curr = unpack_ptr<Node_t>(curr_word);
     }
   }
 }
 
-uint32_t SkipListEngine::resolve_start(uint64_t x, Node*& cur) {
+template <typename Traits>
+uint32_t BasicSkipListEngine<Traits>::resolve_start(Ikey x, Node_t*& cur) {
   if (cur != nullptr && cur->level() <= top_ && cur->ikey() < x &&
       (cur->kind() == NodeKind::kInterior || cur->kind() == NodeKind::kHead)) {
     return cur->level();
@@ -150,12 +164,11 @@ uint32_t SkipListEngine::resolve_start(uint64_t x, Node*& cur) {
   return top_;
 }
 
-SkipListEngine::Bracket SkipListEngine::descend_from(uint64_t x, Node* cur,
-                                                     uint32_t lvl,
-                                                     Node** hints,
-                                                     SearchFinger* f,
-                                                     uint64_t epoch,
-                                                     DescentCursor* rec) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::descend_from(Ikey x, Node_t* cur,
+                                               uint32_t lvl, Node_t** hints,
+                                               Finger* f, uint64_t epoch,
+                                               Cursor* rec) -> Bracket {
   // Record only the kRecordDepth levels just below the entry level (the
   // frequency cascade, DESIGN.md §3.6): a target must hit at level l before
   // its descent may populate rows l-1, l-2.  Recording every traversed
@@ -167,9 +180,8 @@ SkipListEngine::Bracket SkipListEngine::descend_from(uint64_t x, Node* cur,
   uint32_t record_floor = 0;
   if (f != nullptr) {
     const uint32_t eff = lvl < f->max_level() ? lvl : f->max_level();
-    record_floor = eff > SearchFinger::kRecordDepth
-                       ? eff - SearchFinger::kRecordDepth
-                       : 0;
+    record_floor =
+        eff > Finger::kRecordDepth ? eff - Finger::kRecordDepth : 0;
   }
   for (;;) {
     Bracket b = list_search(x, cur, lvl);
@@ -196,26 +208,30 @@ SkipListEngine::Bracket SkipListEngine::descend_from(uint64_t x, Node* cur,
   }
 }
 
-SkipListEngine::Bracket SkipListEngine::descend(uint64_t x, Node* start,
-                                                Node** hints) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::descend(Ikey x, Node_t* start,
+                                          Node_t** hints) -> Bracket {
   if (hints != nullptr) {
     for (uint32_t l = 0; l <= top_; ++l) hints[l] = head_[l];
   }
-  Node* cur = start;
+  Node_t* cur = start;
   const uint32_t lvl = resolve_start(x, cur);
   return descend_from(x, cur, lvl, hints, nullptr, 0);
 }
 
-SkipListEngine::Bracket SkipListEngine::cursor_descend(DescentCursor& cur,
-                                                       uint64_t x,
-                                                       StartFn fallback,
-                                                       void* env) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::cursor_descend(Cursor& cur, Ikey x,
+                                                 StartFn fallback, void* env)
+    -> Bracket {
   return cur.seek(x, /*cold_min_level=*/0, fallback, env);
 }
 
-SkipListEngine::InsertResult SkipListEngine::cursor_insert(
-    DescentCursor& cur, uint64_t x, uint32_t height, uint32_t cold_min_level,
-    StartFn fallback, void* env) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::cursor_insert(Cursor& cur, Ikey x,
+                                                uint32_t height,
+                                                uint32_t cold_min_level,
+                                                StartFn fallback, void* env)
+    -> InsertResult {
   assert(cold_min_level >= height);
   Bracket b = cur.seek(x, cold_min_level, fallback, env);
   InsertResult r = insert_from(x, height, cur.hints(), b);
@@ -223,10 +239,10 @@ SkipListEngine::InsertResult SkipListEngine::cursor_insert(
   return r;
 }
 
-SkipListEngine::EraseResult SkipListEngine::cursor_erase(DescentCursor& cur,
-                                                         uint64_t x,
-                                                         StartFn fallback,
-                                                         void* env) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::cursor_erase(Cursor& cur, Ikey x,
+                                               StartFn fallback, void* env)
+    -> EraseResult {
   // cold_min_level = top_: the top-down tower sweep consumes hints at every
   // level, so a cold entry below the top (which would leave bare level-head
   // rows above it) is never usable.
@@ -236,12 +252,11 @@ SkipListEngine::EraseResult SkipListEngine::cursor_erase(DescentCursor& cur,
   return r;
 }
 
-SkipListEngine::Bracket SkipListEngine::fingered_descend(uint64_t x,
-                                                         uint32_t min_level,
-                                                         StartFn fallback,
-                                                         void* env,
-                                                         Node** hints) {
-  DescentCursor cur(*this);
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::fingered_descend(Ikey x, uint32_t min_level,
+                                                   StartFn fallback, void* env,
+                                                   Node_t** hints) -> Bracket {
+  Cursor cur(*this);
   const Bracket b = cur.seek(x, min_level, fallback, env);
   if (hints != nullptr) {
     std::copy(cur.hints(), cur.hints() + top_ + 1, hints);
@@ -249,7 +264,8 @@ SkipListEngine::Bracket SkipListEngine::fingered_descend(uint64_t x,
   return b;
 }
 
-bool SkipListEngine::mark_node(Node* n, Node* back_hint) {
+template <typename Traits>
+bool BasicSkipListEngine<Traits>::mark_node(Node_t* n, Node_t* back_hint) {
   Backoff bo;
   for (;;) {
     const uint64_t w = dcss_read(n->next);
@@ -262,7 +278,8 @@ bool SkipListEngine::mark_node(Node* n, Node* back_hint) {
   }
 }
 
-void SkipListEngine::set_prev_mark(Node* n) {
+template <typename Traits>
+void BasicSkipListEngine<Traits>::set_prev_mark(Node_t* n) {
   Backoff bo;
   for (;;) {
     const uint64_t pv = dcss_read(n->prevw);
@@ -272,16 +289,17 @@ void SkipListEngine::set_prev_mark(Node* n) {
   }
 }
 
-void SkipListEngine::fix_prev(Node* hint, Node* node) {
+template <typename Traits>
+void BasicSkipListEngine<Traits>::fix_prev(Node_t* hint, Node_t* node) {
   // Algorithm 1, with ready set on every exit path (DESIGN.md §3.5(2)).
-  const uint64_t x = node->ikey();
+  const Ikey x = node->ikey();
   Bracket b = list_search(x, hint, top_);
   Backoff bo;
   for (int i = 0; i < kFixPrevRetries; ++i) {
     if (is_marked(dcss_read(node->next))) break;  // node being deleted
     const uint64_t pv = dcss_read(node->prevw);
     if (is_marked(pv)) break;
-    if (unpack_ptr<Node>(pv) == b.left) break;  // already correct
+    if (unpack_ptr<Node_t>(pv) == b.left) break;  // already correct
     // Install left as node's prev, guarded on left being unmarked and
     // adjacent (left.next == node): the paper's DCSS(node.prev, pv, left,
     // left.succ, (node, 0)).
@@ -297,7 +315,8 @@ void SkipListEngine::fix_prev(Node* hint, Node* node) {
   node->ready.store(1, std::memory_order_release);
 }
 
-void SkipListEngine::make_done(Node* left, Node* right) {
+template <typename Traits>
+void BasicSkipListEngine<Traits>::make_done(Node_t* left, Node_t* right) {
   // Alg. 7's makeDone (not defined in the paper; see DESIGN.md §3.5(6)):
   // make right's prev word consistent so the DCSS guard
   // (right.prev, right.marked) == (left, 0) can be evaluated meaningfully.
@@ -306,13 +325,14 @@ void SkipListEngine::make_done(Node* left, Node* right) {
     return;
   }
   const uint64_t pv = dcss_read(right->prevw);
-  if (is_marked(pv) || unpack_ptr<Node>(pv) == left) return;
+  if (is_marked(pv) || unpack_ptr<Node_t>(pv) == left) return;
   dcss(ctx_, right->prevw, pv, pack_ptr(left), left->next, pack_ptr(right));
 }
 
-Node* SkipListEngine::walk_left(uint64_t x, Node* from) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::walk_left(Ikey x, Node_t* from) -> Node_t* {
   auto& c = tls_counters();
-  Node* curr = from;
+  Node_t* curr = from;
   for (uint32_t steps = 0;; ++steps) {
     if (curr == nullptr || steps > kWalkLimit) {
       // Guide chain dead-ended (null back/prev) or exceeded the walk bound:
@@ -339,16 +359,15 @@ Node* SkipListEngine::walk_left(uint64_t x, Node* from) {
       curr = curr->back.load(std::memory_order_acquire);
     } else {
       c.prev_steps++;
-      curr = unpack_ptr<Node>(dcss_read(curr->prevw));
+      curr = unpack_ptr<Node_t>(dcss_read(curr->prevw));
     }
   }
 }
 
-SkipListEngine::RaiseStatus SkipListEngine::raise_level(Node* root,
-                                                        Node* nnode,
-                                                        uint64_t x,
-                                                        uint32_t lvl,
-                                                        Node*& hint) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::raise_level(Node_t* root, Node_t* nnode,
+                                              Ikey x, uint32_t lvl,
+                                              Node_t*& hint) -> RaiseStatus {
   Backoff bo;
   for (;;) {
     if (root->stopw.load(std::memory_order_seq_cst) != 0) {
@@ -400,31 +419,32 @@ SkipListEngine::RaiseStatus SkipListEngine::raise_level(Node* root,
   }
 }
 
-SkipListEngine::InsertResult SkipListEngine::insert(uint64_t x, Node* start,
-                                                    uint32_t height) {
-  Node* hints[kMaxLevels + 1];
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::insert(Ikey x, Node_t* start,
+                                         uint32_t height) -> InsertResult {
+  Node_t* hints[kMaxLevels + 1];
   Bracket b = descend(x, start, hints);
   return insert_from(x, height, hints, b);
 }
 
-SkipListEngine::InsertResult SkipListEngine::fingered_insert(uint64_t x,
-                                                             uint32_t height,
-                                                             StartFn fallback,
-                                                             void* env) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::fingered_insert(Ikey x, uint32_t height,
+                                                  StartFn fallback, void* env)
+    -> InsertResult {
   // cold_min_level = height: the raise path consumes hints[1..height], so a
   // finger entry below the drawn tower height would leave the raise
   // searching whole levels from their heads.
-  DescentCursor cur(*this);
+  Cursor cur(*this);
   return cursor_insert(cur, x, height, height, fallback, env);
 }
 
-SkipListEngine::InsertResult SkipListEngine::insert_from(uint64_t x,
-                                                         uint32_t height,
-                                                         Node** hints,
-                                                         Bracket b) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::insert_from(Ikey x, uint32_t height,
+                                              Node_t** hints, Bracket b)
+    -> InsertResult {
   assert(height <= top_);
   InsertResult res;
-  Node* root = nullptr;
+  Node_t* root = nullptr;
   Backoff bo;
   for (;;) {
     if (b.right->ikey() == x) {
@@ -445,9 +465,9 @@ SkipListEngine::InsertResult SkipListEngine::insert_from(uint64_t x,
   res.root = root;
   res.inserted = true;
 
-  Node* below = root;
+  Node_t* below = root;
   for (uint32_t lvl = 1; lvl <= height; ++lvl) {
-    Node* n = make_node(x, lvl, height, below, root);
+    Node_t* n = make_node(x, lvl, height, below, root);
     const RaiseStatus st = raise_level(root, n, x, lvl, hints[lvl]);
     if (st == RaiseStatus::kStoppedPublished) {
       // CAS-fallback undo at the top level: n is marked (we own it) but may
@@ -476,43 +496,46 @@ SkipListEngine::InsertResult SkipListEngine::insert_from(uint64_t x,
   return res;
 }
 
-Node* SkipListEngine::find_tower_node(uint64_t x, Node* root, uint32_t level,
-                                      Node*& left) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::find_tower_node(Ikey x, Node_t* root,
+                                                  uint32_t level,
+                                                  Node_t*& left) -> Node_t* {
   Bracket b = list_search(x, left, level);
   left = b.left;
-  Node* c = b.right;
+  Node_t* c = b.right;
   // Equal-key runs can transiently hold several nodes (a marked old tower
   // plus a new one, or CAS-fallback orphans); scan for ours.
   for (uint32_t i = 0; c != nullptr && c->ikey() == x && i < kEqualRunLimit;
        ++i) {
     if (c->root() == root) return c;
-    c = unpack_ptr<Node>(without_tags(dcss_read(c->next)));
+    c = unpack_ptr<Node_t>(without_tags(dcss_read(c->next)));
   }
   return nullptr;
 }
 
-SkipListEngine::EraseResult SkipListEngine::erase(uint64_t x, Node* start) {
-  Node* hints[kMaxLevels + 1];
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::erase(Ikey x, Node_t* start) -> EraseResult {
+  Node_t* hints[kMaxLevels + 1];
   const Bracket b0 = descend(x, start, hints);
   return erase_from(x, hints, b0);
 }
 
-SkipListEngine::EraseResult SkipListEngine::fingered_erase(uint64_t x,
-                                                           StartFn fallback,
-                                                           void* env) {
-  DescentCursor cur(*this);
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::fingered_erase(Ikey x, StartFn fallback,
+                                                 void* env) -> EraseResult {
+  Cursor cur(*this);
   return cursor_erase(cur, x, fallback, env);
 }
 
-SkipListEngine::EraseResult SkipListEngine::erase_from(uint64_t x,
-                                                       Node** hints,
-                                                       Bracket b0) {
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::erase_from(Ikey x, Node_t** hints,
+                                             Bracket b0) -> EraseResult {
   EraseResult res;
   if (b0.right->ikey() != x || b0.right->level() != 0 ||
       b0.right->kind() != NodeKind::kInterior) {
     return res;  // not present
   }
-  Node* root = b0.right;
+  Node_t* root = b0.right;
   // Claim the tower (paper §2: set the root's stop flag).  Losing the claim
   // means another delete owns this tower; our erase linearizes after its
   // level-0 mark as "not present".
@@ -528,8 +551,8 @@ SkipListEngine::EraseResult SkipListEngine::erase_from(uint64_t x,
   for (;;) {
     bool found_any = false;
     for (int lvl = static_cast<int>(top_); lvl >= 1; --lvl) {
-      Node* left = hints[lvl];
-      Node* tn = find_tower_node(x, root, static_cast<uint32_t>(lvl), left);
+      Node_t* left = hints[lvl];
+      Node_t* tn = find_tower_node(x, root, static_cast<uint32_t>(lvl), left);
       hints[lvl] = left;
       if (tn == nullptr) continue;
       found_any = true;
@@ -562,7 +585,7 @@ SkipListEngine::EraseResult SkipListEngine::erase_from(uint64_t x,
   if (had_top) {
     // Alg. 2 lines 4-7: repair the successor's prev pointer until the
     // successor itself is stable.
-    Node* l = hints[top_];
+    Node_t* l = hints[top_];
     Backoff bo;
     for (int i = 0; i < kFixPrevRetries; ++i) {
       Bracket b = list_search(x, l, top_);
@@ -576,22 +599,27 @@ SkipListEngine::EraseResult SkipListEngine::erase_from(uint64_t x,
   return res;
 }
 
-Node* SkipListEngine::first_at(uint32_t level) const {
-  Node* n = unpack_ptr<Node>(without_tags(dcss_read(head_[level]->next)));
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::first_at(uint32_t level) const -> Node_t* {
+  Node_t* n = unpack_ptr<Node_t>(without_tags(dcss_read(head_[level]->next)));
   while (n != nullptr && n->kind() == NodeKind::kInterior) {
     if (!is_marked(dcss_read(n->next))) return n;
-    n = unpack_ptr<Node>(without_tags(dcss_read(n->next)));
+    n = unpack_ptr<Node_t>(without_tags(dcss_read(n->next)));
   }
   return nullptr;
 }
 
-Node* SkipListEngine::next_at(Node* n) const {
-  Node* m = unpack_ptr<Node>(without_tags(dcss_read(n->next)));
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::next_at(Node_t* n) const -> Node_t* {
+  Node_t* m = unpack_ptr<Node_t>(without_tags(dcss_read(n->next)));
   while (m != nullptr && m->kind() == NodeKind::kInterior) {
     if (!is_marked(dcss_read(m->next))) return m;
-    m = unpack_ptr<Node>(without_tags(dcss_read(m->next)));
+    m = unpack_ptr<Node_t>(without_tags(dcss_read(m->next)));
   }
   return nullptr;
 }
+
+template class BasicSkipListEngine<U64Traits>;
+template class BasicSkipListEngine<Bytes16Traits>;
 
 }  // namespace skiptrie

@@ -11,6 +11,14 @@
 // (top_level = ceil(log2 B), i.e. log log u) and the full-height baseline
 // skiplist (top_level ≈ log m) — the paper's comparison target.
 //
+// The engine is a template over KeyTraits (DESIGN.md §6): search keys are
+// the traits' ikey word (uint64_t for U64Traits — the seed behavior, byte
+// for byte — or u128 for Bytes16Traits), while every mutable link stays a
+// tagged 64-bit pointer word.  `using SkipListEngine =
+// BasicSkipListEngine<U64Traits>` keeps the historical name for the fast
+// path; member definitions live in engine.cpp with explicit instantiations
+// for both shipped traits.
+//
 // Concurrency contract: every public method must run under an
 // EbrDomain::Guard on ctx.ebr (guards are reentrant; the SkipTrie wrapper
 // pins once per operation).  Node storage comes from a type-stable
@@ -20,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/key_traits.h"
 #include "dcss/dcss.h"
 #include "reclaim/arena.h"
 #include "skiplist/finger.h"
@@ -27,48 +36,55 @@
 
 namespace skiptrie {
 
-class DescentCursor;
+template <typename Traits>
+class BasicDescentCursor;
 
-class SkipListEngine {
+template <typename Traits>
+class BasicSkipListEngine {
  public:
+  using Ikey = typename Traits::ikey_type;
+  using Node_t = NodeT<Ikey>;
+  using Finger = BasicSearchFinger<Traits>;
+  using Cursor = BasicDescentCursor<Traits>;
+
   static constexpr uint32_t kMaxLevels = 40;  // supports the log-m baseline
 
   // top_level: index of the highest level (inclusive).
-  SkipListEngine(DcssContext ctx, SlabArena& arena, uint32_t top_level);
-  ~SkipListEngine();
+  BasicSkipListEngine(DcssContext ctx, SlabArena& arena, uint32_t top_level);
+  ~BasicSkipListEngine();
 
-  SkipListEngine(const SkipListEngine&) = delete;
-  SkipListEngine& operator=(const SkipListEngine&) = delete;
+  BasicSkipListEngine(const BasicSkipListEngine&) = delete;
+  BasicSkipListEngine& operator=(const BasicSkipListEngine&) = delete;
 
   struct Bracket {
-    Node* left;
-    Node* right;
+    Node_t* left;
+    Node_t* right;
   };
 
   struct InsertResult {
-    Node* root = nullptr;  // level-0 node; nullptr if the key was present
-    Node* top = nullptr;   // top-level node if the tower reached top_level
+    Node_t* root = nullptr;  // level-0 node; nullptr if the key was present
+    Node_t* top = nullptr;   // top-level node if the tower reached top_level
     // CAS-fallback only: a top-level node we linked, then marked and
     // unlinked because a delete had already claimed the tower (DESIGN.md
     // §3.5(5)).  The caller must run the trie sweep for it, then
     // retire_node() it — while linked it may have entered the trie.
-    Node* undone_top = nullptr;
+    Node_t* undone_top = nullptr;
     bool inserted = false;
   };
 
   struct EraseResult {
     bool erased = false;
-    Node* top = nullptr;       // top-level node if one was removed
-    Node* top_left = nullptr;  // top-level left hint for the trie sweep
+    Node_t* top = nullptr;       // top-level node if one was removed
+    Node_t* top_left = nullptr;  // top-level left hint for the trie sweep
     // Tower nodes this operation owns (mark-CAS winner); retire after the
     // trie sweep via retire_tower().
-    Node* owned[kMaxLevels + 1];
+    Node_t* owned[kMaxLevels + 1];
     uint32_t owned_count = 0;
   };
 
   uint32_t top_level() const { return top_; }
-  Node* head(uint32_t level) const { return head_[level]; }
-  Node* tail() const { return tail_; }
+  Node_t* head(uint32_t level) const { return head_[level]; }
+  Node_t* tail() const { return tail_; }
   const DcssContext& ctx() const { return ctx_; }
 
   // The paper's listSearch(x, start) at a given level: returns (left, right)
@@ -77,28 +93,28 @@ class SkipListEngine {
   // it crosses.  `start` is only a hint — it is validated and the search
   // falls back to the level head when the hint is unusable (stale guides,
   // poisoned storage, wrong level).
-  Bracket list_search(uint64_t x, Node* start, uint32_t level);
+  Bracket list_search(Ikey x, Node_t* start, uint32_t level);
 
   // Descend from `start` (any level; validated) to level 0, returning the
   // level-0 bracket.  If hints != nullptr it receives the per-level left
   // nodes (size must be >= top_level()+1).  Finger-free (tests, internal
   // restarts); public operations route through the fingered entry points.
-  Bracket descend(uint64_t x, Node* start, Node** hints = nullptr);
+  Bracket descend(Ikey x, Node_t* start, Node_t** hints = nullptr);
 
   // Insert ikey with tower height `height` (0..top_level), starting the
   // search from `start`.  Duplicate detection is exact at level 0.
-  InsertResult insert(uint64_t x, Node* start, uint32_t height);
+  InsertResult insert(Ikey x, Node_t* start, uint32_t height);
 
   // Delete ikey, starting from `start`.  Claims the tower via the root's
   // stop word, then removes the tower top-down (paper Alg. 2 / §2).
-  EraseResult erase(uint64_t x, Node* start);
+  EraseResult erase(Ikey x, Node_t* start);
 
   // --- Cursor entry points (DESIGN.md §3.6–§3.7) --------------------------
   // The one descent seam every public SkipTrie and baseline operation goes
-  // through, built on DescentCursor (skiplist/cursor.h): a resumable
+  // through, built on BasicDescentCursor (skiplist/cursor.h): a resumable
   // per-level bracket position.  A warm cursor whose retained bracket still
   // contains x enters the descent at the lowest such level; otherwise the
-  // calling thread's SearchFinger is consulted: a hit at level
+  // calling thread's finger is consulted: a hit at level
   // l >= min_level starts the descent there, skipping levels l+1..top *and*
   // the fallback entirely (for the SkipTrie that fallback is the x-fast
   // trie's pred_start — hash probes and the top-level walk).  On a miss,
@@ -112,30 +128,28 @@ class SkipListEngine {
   // batched write streams pass top_level() (the tower sweep consumes hints
   // at every level, and a batch must keep every retained row a real bracket
   // rather than a bare level head — see cursor.h).
-  using StartFn = Node* (*)(void* env, uint64_t x);
+  using StartFn = Node_t* (*)(void* env, Ikey x);
 
-  Bracket cursor_descend(DescentCursor& cur, uint64_t x, StartFn fallback,
-                         void* env);
-  InsertResult cursor_insert(DescentCursor& cur, uint64_t x, uint32_t height,
+  Bracket cursor_descend(Cursor& cur, Ikey x, StartFn fallback, void* env);
+  InsertResult cursor_insert(Cursor& cur, Ikey x, uint32_t height,
                              uint32_t cold_min_level, StartFn fallback,
                              void* env);
-  EraseResult cursor_erase(DescentCursor& cur, uint64_t x, StartFn fallback,
-                           void* env);
+  EraseResult cursor_erase(Cursor& cur, Ikey x, StartFn fallback, void* env);
 
   // Single-key entry points: the batch_size = 1 degenerate case — each call
-  // runs one cold DescentCursor through the seam above.
-  Bracket fingered_descend(uint64_t x, uint32_t min_level, StartFn fallback,
-                           void* env, Node** hints = nullptr);
-  InsertResult fingered_insert(uint64_t x, uint32_t height, StartFn fallback,
+  // runs one cold cursor through the seam above.
+  Bracket fingered_descend(Ikey x, uint32_t min_level, StartFn fallback,
+                           void* env, Node_t** hints = nullptr);
+  InsertResult fingered_insert(Ikey x, uint32_t height, StartFn fallback,
                                void* env);
-  EraseResult fingered_erase(uint64_t x, StartFn fallback, void* env);
+  EraseResult fingered_erase(Ikey x, StartFn fallback, void* env);
 
   // The calling thread's finger for this engine (distinct per thread).
-  SearchFinger& finger() const { return tls_finger(finger_owner_, top_); }
-  // The calling thread's persistent DescentCursor for this engine (same
-  // owner-id keying; defined in engine.cpp).  Used by the batch API so
-  // consecutive batches resume where the last one left off.
-  DescentCursor& cursor();
+  Finger& finger() const { return tls_finger<Traits>(finger_owner_, top_); }
+  // The calling thread's persistent cursor for this engine (same owner-id
+  // keying; defined in engine.cpp).  Used by the batch API so consecutive
+  // batches resume where the last one left off.
+  Cursor& cursor();
   // Ablation/diagnostic switch: when off, the fingered entry points behave
   // exactly like their unfingered counterparts (no lookups, no recording,
   // no finger counters).  Not thread-safe against concurrent operations.
@@ -144,35 +158,35 @@ class SkipListEngine {
 
   // Algorithm 1.  Installs node.prev via DCSS guarded on the predecessor
   // remaining unmarked and adjacent; sets node.ready on exit.
-  void fix_prev(Node* hint, Node* node);
+  void fix_prev(Node_t* hint, Node_t* node);
 
   // Helper used by the trie's delete sweep (Alg. 7 line 16): propagate
   // right's mark into its prev word, or repair right.prev = left.
-  void make_done(Node* left, Node* right);
+  void make_done(Node_t* left, Node_t* right);
 
   // Walk left from `from` until reaching a node with ikey < x, following
   // back pointers on marked nodes and prev pointers otherwise (Alg. 4 body).
   // Falls back to the top-level head when guides dead-end.
-  Node* walk_left(uint64_t x, Node* from);
+  Node_t* walk_left(Ikey x, Node_t* from);
 
   // Retire an owned tower (from EraseResult) after any trie sweep.
   void retire_owned(const EraseResult& r);
   // Retire a single never-published or owned node.
-  void retire_node(Node* n);
+  void retire_node(Node_t* n);
 
   // --- Introspection (tests / benches; not linearizable snapshots) ---
   // First interior node at `level` (skips marked), nullptr when empty.
-  Node* first_at(uint32_t level) const;
+  Node_t* first_at(uint32_t level) const;
   // Next interior node after n at its level (skips marked).
-  Node* next_at(Node* n) const;
+  Node_t* next_at(Node_t* n) const;
   size_t approx_bytes() const { return arena_.bytes_reserved(); }
 
   // Allocate + initialize an interior node (exposed for the baseline).
-  Node* make_node(uint64_t ikey, uint32_t level, uint32_t orig_height,
-                  Node* down, Node* root);
+  Node_t* make_node(Ikey ikey, uint32_t level, uint32_t orig_height,
+                    Node_t* down, Node_t* root);
 
  private:
-  friend class DescentCursor;
+  friend class BasicDescentCursor<Traits>;
 
   enum class RaiseStatus {
     kOk,                   // linked at this level
@@ -181,41 +195,43 @@ class SkipListEngine {
                            // trie-sweep then retire the marked node
   };
 
-  bool usable_start(Node* n, uint64_t x, uint32_t level) const;
+  bool usable_start(Node_t* n, Ikey x, uint32_t level) const;
   // Validate `cur` as a descent start; falls back to the top-level head
   // (counting a restart).  Returns the level the descent begins at.
-  uint32_t resolve_start(uint64_t x, Node*& cur);
+  uint32_t resolve_start(Ikey x, Node_t*& cur);
   // Core descent loop from (cur, lvl): fills hints[l] for every traversed
   // level (callers pre-fill untraversed levels), records every traversed
   // bracket into the finger (when f != nullptr, stamped with `epoch`) and
   // into the cursor's rows (when rec != nullptr; hints is then rec's own
   // left array).
-  Bracket descend_from(uint64_t x, Node* cur, uint32_t lvl, Node** hints,
-                       SearchFinger* f, uint64_t epoch,
-                       DescentCursor* rec = nullptr);
+  Bracket descend_from(Ikey x, Node_t* cur, uint32_t lvl, Node_t** hints,
+                       Finger* f, uint64_t epoch, Cursor* rec = nullptr);
   // Post-descent bodies shared by the plain and fingered entry points.
-  InsertResult insert_from(uint64_t x, uint32_t height, Node** hints,
+  InsertResult insert_from(Ikey x, uint32_t height, Node_t** hints,
                            Bracket b);
-  EraseResult erase_from(uint64_t x, Node** hints, Bracket b0);
+  EraseResult erase_from(Ikey x, Node_t** hints, Bracket b0);
   // Marks n (setting back to back_hint first).  Returns true iff this call's
   // CAS performed the unmarked->marked transition (ownership for retiring).
-  bool mark_node(Node* n, Node* back_hint);
-  void set_prev_mark(Node* n);
+  bool mark_node(Node_t* n, Node_t* back_hint);
+  void set_prev_mark(Node_t* n);
   // Raise the tower one level; stopped when claimed or a same-key node
   // exists at the level.
-  RaiseStatus raise_level(Node* root, Node* nnode, uint64_t x, uint32_t lvl,
-                          Node*& hint);
+  RaiseStatus raise_level(Node_t* root, Node_t* nnode, Ikey x, uint32_t lvl,
+                          Node_t*& hint);
   // Find the tower node of `root` at `level` (walking equal-key runs);
   // nullptr if not present.
-  Node* find_tower_node(uint64_t x, Node* root, uint32_t level, Node*& left);
+  Node_t* find_tower_node(Ikey x, Node_t* root, uint32_t level, Node_t*& left);
 
   DcssContext ctx_;
   SlabArena& arena_;
   const uint32_t top_;
   const uint64_t finger_owner_ = new_finger_owner();
   bool finger_on_ = true;
-  Node* head_[kMaxLevels + 1];
-  Node* tail_;
+  Node_t* head_[kMaxLevels + 1];
+  Node_t* tail_;
 };
+
+// The historical u64 fast-path names.
+using SkipListEngine = BasicSkipListEngine<U64Traits>;
 
 }  // namespace skiptrie

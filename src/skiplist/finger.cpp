@@ -9,21 +9,25 @@
 
 namespace skiptrie {
 
-void SearchFinger::reset(uint64_t owner, uint32_t top_level) {
+template <typename Traits>
+void BasicSearchFinger<Traits>::reset(uint64_t owner, uint32_t top_level) {
   owner_ = owner;
   levels_ = top_level + 1 < kLevels ? top_level + 1 : kLevels;
   invalidate();
 }
 
-void SearchFinger::invalidate() {
+template <typename Traits>
+void BasicSearchFinger<Traits>::invalidate() {
   for (uint32_t l = 0; l < kLevels; ++l) {
     cursor_[l] = 0;
     for (uint32_t w = 0; w < kWays; ++w) e_[l][w] = Entry{};
   }
 }
 
-void SearchFinger::record(uint32_t lvl, Node* left, uint64_t left_ikey,
-                          uint64_t right_ikey, uint64_t epoch) {
+template <typename Traits>
+void BasicSearchFinger<Traits>::record(uint32_t lvl, Node_t* left,
+                                       Ikey left_ikey, Ikey right_ikey,
+                                       uint64_t epoch) {
   if (lvl >= levels_) return;
   Entry* row = e_[lvl];
   for (uint32_t w = 0; w < kWays; ++w) {
@@ -44,8 +48,9 @@ void SearchFinger::record(uint32_t lvl, Node* left, uint64_t left_ikey,
   row[v] = Entry{left, left_ikey, right_ikey, epoch, /*ref=*/false};
 }
 
-int SearchFinger::try_start(uint64_t x, uint32_t min_level,
-                            uint64_t now_epoch, Node** out) {
+template <typename Traits>
+int BasicSearchFinger<Traits>::try_start(Ikey x, uint32_t min_level,
+                                         uint64_t now_epoch, Node_t** out) {
   for (uint32_t lvl = min_level; lvl < levels_; ++lvl) {
     Entry* row = e_[lvl];
     for (uint32_t w = 0; w < kWays; ++w) {
@@ -58,7 +63,7 @@ int SearchFinger::try_start(uint64_t x, uint32_t min_level,
       // Validate the node itself.  Type-stable storage makes these reads
       // safe even if the node was retired; the checks reject poisoned,
       // recycled-to-another-identity, and marked nodes (DESIGN.md §3.6).
-      Node* n = en.left;
+      Node_t* n = en.left;
       const NodeKind k = n->kind();
       if (k != NodeKind::kInterior && k != NodeKind::kHead) continue;
       if (n->level() != lvl) continue;
@@ -72,7 +77,7 @@ int SearchFinger::try_start(uint64_t x, uint32_t min_level,
       // than the miss path.  One read of left's successor rejects exactly
       // those: accept only if nothing sits strictly between left and x, so
       // a hit always enters its level in O(1) hops.
-      Node* succ = unpack_ptr<Node>(nw);
+      Node_t* succ = unpack_ptr<Node_t>(nw);
       if (succ == nullptr || succ->ikey() < x) continue;
       en.ref = true;  // a serving entry earns its second chance
       *out = n;
@@ -90,7 +95,8 @@ int SearchFinger::try_start(uint64_t x, uint32_t min_level,
 // hundreds of short-lived structures), a destroyed engine appends its owner
 // id here and each registry drops matching slots lazily on its next lookup.
 // The journal itself is append-only (8 bytes per engine ever destroyed) and
-// each thread only scans the suffix it has not yet seen.
+// each thread only scans the suffix it has not yet seen.  One journal serves
+// the registries of every traits instantiation (owner ids are global).
 
 namespace {
 
@@ -130,17 +136,26 @@ namespace {
 // whenever a thread cycled through more engines than slots, which is the
 // steady state of a sharded split batch (DESIGN.md §4.2).  Lookups scan
 // linearly with move-toward-front promotion, so the repeated-owner path
-// stays O(1) and a shard sweep costs at most one swap per shard.
+// stays O(1) and a shard sweep costs at most one swap per shard.  One
+// registry per traits instantiation (owner ids never collide across
+// instantiations, but the slot payloads are different types).
+template <typename Traits>
 struct FingerSlot {
   uint64_t owner = 0;
-  std::unique_ptr<SearchFinger> finger;
+  std::unique_ptr<BasicSearchFinger<Traits>> finger;
 };
+template <typename Traits>
 struct FingerRegistry {
-  std::vector<FingerSlot> slots;
+  std::vector<FingerSlot<Traits>> slots;
   uint64_t seen_dead = 0;           // journal position already processed
   std::vector<uint64_t> scratch;
 };
-thread_local FingerRegistry tl_finger_reg;
+
+template <typename Traits>
+FingerRegistry<Traits>& tl_finger_reg() {
+  thread_local FingerRegistry<Traits> reg;
+  return reg;
+}
 
 template <typename Registry>
 void sweep_dead_owners(Registry& reg) {
@@ -159,14 +174,15 @@ void sweep_dead_owners(Registry& reg) {
 
 }  // namespace
 
-SearchFinger& tls_finger(uint64_t owner, uint32_t top_level) {
-  FingerRegistry& reg = tl_finger_reg;
+template <typename Traits>
+BasicSearchFinger<Traits>& tls_finger(uint64_t owner, uint32_t top_level) {
+  FingerRegistry<Traits>& reg = tl_finger_reg<Traits>();
   sweep_dead_owners(reg);
   for (size_t i = 0; i < reg.slots.size(); ++i) {
     if (reg.slots[i].owner == owner) {
       // Swapping slots moves only the owner word and the unique_ptr; the
-      // SearchFinger objects themselves never move, so held references
-      // stay valid across promotions.
+      // finger objects themselves never move, so held references stay
+      // valid across promotions.
       if (i > 0) {
         std::swap(reg.slots[i], reg.slots[i - 1]);
         --i;
@@ -174,22 +190,36 @@ SearchFinger& tls_finger(uint64_t owner, uint32_t top_level) {
       return *reg.slots[i].finger;
     }
   }
-  FingerSlot s;
+  FingerSlot<Traits> s;
   s.owner = owner;
-  s.finger = std::make_unique<SearchFinger>();
+  s.finger = std::make_unique<BasicSearchFinger<Traits>>();
   s.finger->reset(owner, top_level);
   reg.slots.push_back(std::move(s));
   return *reg.slots.back().finger;
 }
 
+template <typename Traits>
+size_t tls_finger_registry_size_of() {
+  FingerRegistry<Traits>& reg = tl_finger_reg<Traits>();
+  sweep_dead_owners(reg);
+  return reg.slots.size();
+}
+
 size_t tls_finger_registry_size() {
-  sweep_dead_owners(tl_finger_reg);
-  return tl_finger_reg.slots.size();
+  return tls_finger_registry_size_of<U64Traits>();
 }
 
 uint64_t new_finger_owner() {
   static std::atomic<uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+template class BasicSearchFinger<U64Traits>;
+template class BasicSearchFinger<Bytes16Traits>;
+template SearchFinger& tls_finger<U64Traits>(uint64_t, uint32_t);
+template BasicSearchFinger<Bytes16Traits>& tls_finger<Bytes16Traits>(uint64_t,
+                                                                     uint32_t);
+template size_t tls_finger_registry_size_of<U64Traits>();
+template size_t tls_finger_registry_size_of<Bytes16Traits>();
 
 }  // namespace skiptrie

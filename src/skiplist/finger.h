@@ -24,7 +24,11 @@
 //
 // Fingers are thread-local and keyed by a never-reused per-engine owner id,
 // so a finger recorded against a destroyed engine can never be consulted by
-// a live one.  No SearchFinger is ever shared between threads.
+// a live one.  No finger is ever shared between threads.  The finger is a
+// template over KeyTraits (DESIGN.md §6): bracket ikeys take the traits'
+// ikey word, and each instantiation keeps its *own* per-thread registry, so
+// a Bytes16 engine's brackets can never perturb (or be consulted by) a u64
+// engine's descents.
 //
 // The per-thread registry grows on demand — one slot per live engine the
 // thread has touched — and returns a *stable* object per owner: a slot is
@@ -42,16 +46,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/key_traits.h"
 #include "skiplist/node.h"
 
 namespace skiptrie {
 
-class SearchFinger {
+template <typename Traits>
+class BasicSearchFinger {
  public:
+  using Ikey = typename Traits::ikey_type;
+  using Node_t = NodeT<Ikey>;
+
   // Levels 0..kLevels-1 are cached.  The SkipTrie's truncated skiplist has
-  // at most 7 levels (B=64), so it is fully covered; the full-height
-  // baseline only fingers its lowest levels — exactly the ones whose hits
-  // skip the most work.
+  // at most 7 levels (B=64; 8 levels at B=128 — still fully covered), so it
+  // is fully covered; the full-height baseline only fingers its lowest
+  // levels — exactly the ones whose hits skip the most work.
   static constexpr uint32_t kLevels = 8;
   // Brackets remembered per level.  Sized so the hot set of a zipf(0.99)
   // stream (a few dozen keys carrying ~30% of the mass) stays resident;
@@ -86,9 +95,9 @@ class SearchFinger {
   // draws) cycles a ring long before a hot bracket repeats — hot entries
   // must survive on use, not on recency of insertion.
   struct Entry {
-    Node* left = nullptr;
-    uint64_t left_ikey = 0;
-    uint64_t right_ikey = 0;
+    Node_t* left = nullptr;
+    Ikey left_ikey = Ikey(0);
+    Ikey right_ikey = Ikey(0);
     uint64_t epoch = 0;
     bool ref = false;
   };
@@ -106,8 +115,8 @@ class SearchFinger {
   // with the same left_ikey is updated in place (keeping its second
   // chance); otherwise the clock hand evicts the first entry it finds
   // whose ref bit is clear, clearing set bits as it sweeps.
-  void record(uint32_t lvl, Node* left, uint64_t left_ikey,
-              uint64_t right_ikey, uint64_t epoch);
+  void record(uint32_t lvl, Node_t* left, Ikey left_ikey, Ikey right_ikey,
+              uint64_t epoch);
 
   // Lowest cached level >= min_level holding a bracket that contains x
   // (left_ikey < x <= right_ikey) whose left node still validates (live
@@ -116,8 +125,7 @@ class SearchFinger {
   // use-time adjacency check in the implementation).  Returns that level
   // and sets *out (marking the entry referenced), or returns kMiss.  Must
   // be called with the owner's EBR domain pinned.
-  int try_start(uint64_t x, uint32_t min_level, uint64_t now_epoch,
-                Node** out);
+  int try_start(Ikey x, uint32_t min_level, uint64_t now_epoch, Node_t** out);
 
   // Drop every cached bracket but keep the owner binding.
   void invalidate();
@@ -133,10 +141,12 @@ class SearchFinger {
 // come from new_finger_owner() and are never reused).  The returned
 // reference stays valid — and keeps denoting the same engine's finger —
 // until the owning engine is destroyed; fetching fingers for any number of
-// other engines never invalidates or rebinds it.
-SearchFinger& tls_finger(uint64_t owner, uint32_t top_level);
+// other engines never invalidates or rebinds it.  One registry per traits
+// instantiation (see file comment).
+template <typename Traits>
+BasicSearchFinger<Traits>& tls_finger(uint64_t owner, uint32_t top_level);
 
-// Unique, never-reused owner id — one per SkipListEngine instance.
+// Unique, never-reused owner id — one per engine instance (any traits).
 uint64_t new_finger_owner();
 
 // Called by the engine's destructor: records `owner` in the dead-owner
@@ -147,15 +157,22 @@ uint64_t new_finger_owner();
 void release_finger_owner(uint64_t owner);
 
 namespace detail {
-// Dead-owner journal, shared by the finger and cursor registries
-// (cursor.cpp): monotone version = number of owners ever released.
+// Dead-owner journal, shared by the finger and cursor registries of every
+// traits instantiation (cursor.cpp): monotone version = number of owners
+// ever released.
 uint64_t dead_owner_version();
 // Appends owners released since journal position `since` to `out` and
 // returns the new position.
 uint64_t dead_owners_since(uint64_t since, std::vector<uint64_t>& out);
 }  // namespace detail
 
-// Test hook: number of live slots in the calling thread's finger registry.
+// Test hook: number of live slots in the calling thread's finger registry
+// for this traits instantiation.
+template <typename Traits>
+size_t tls_finger_registry_size_of();
+
+// The historical u64 names.
+using SearchFinger = BasicSearchFinger<U64Traits>;
 size_t tls_finger_registry_size();
 
 }  // namespace skiptrie

@@ -1,14 +1,14 @@
 // Skiplist tower node.
 //
-// One fixed-size, cache-line-sized node type serves every level of the
+// One fixed-size, cache-line-aligned node type serves every level of the
 // truncated skiplist.  Field roles (paper §2, §3):
 //
 //   next   tagged word  (Node* | kMark | kDesc).  The Harris mark on a
 //          node's own next word is the node's logical-deletion flag at its
 //          level.  DCSS descriptors may be installed here transiently.
 //   ikey   internal key: user key + 1.  Head sentinels hold 0, the shared
-//          tail (and poisoned/recycled nodes) hold UINT64_MAX, so every user
-//          key satisfies 0 < ikey < UINT64_MAX.
+//          tail (and poisoned/recycled nodes) hold the all-ones ikey, so
+//          every user key satisfies 0 < ikey < ikey_max.
 //   back   guide pointer, set just before the node is marked; points to the
 //          node's predecessor at marking time (Fomitchev–Ruppert).  Guide
 //          only: traversals validate what they find.
@@ -28,11 +28,21 @@
 // Every field that a stale guide pointer could cause another thread to read
 // concurrently with poisoning is an atomic; accesses that merely validate
 // use relaxed ordering (the chain words carry the synchronization).
+//
+// The node is a template over the ikey word (DESIGN.md §6): NodeT<uint64_t>
+// is the seed layout, byte for byte — ikey_ a single std::atomic<uint64_t>,
+// sizeof == one cache line.  Wider ikeys (u128) store as two relaxed
+// uint64_t halves in AtomicIkey: a torn read yields an ikey that was never
+// stored, which is the same hazard class as reading a recycled node's
+// re-keyed ikey (§3.6) — ikeys read through guide pointers are hints,
+// validated by kind/level/mark identity checks before any structural use —
+// so no double-wide atomic (and no libatomic lock) is needed.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "common/bitops.h"
 #include "common/cacheline.h"
 #include "common/marked_ptr.h"
 
@@ -41,24 +51,56 @@ namespace skiptrie {
 enum class NodeKind : uint8_t {
   kInterior = 0,  // a real key's tower node
   kHead = 1,      // per-level head sentinel (ikey 0)
-  kTail = 2,      // shared tail sentinel (ikey UINT64_MAX)
+  kTail = 2,      // shared tail sentinel (ikey all-ones)
   kPoison = 3,    // retired storage awaiting recycling
 };
 
-struct alignas(kCacheLine) Node {
+// Atomic holder for an ikey word.  Generic version: two relaxed halves
+// (see file comment for why torn reads are tolerable here).
+template <typename Ikey>
+struct AtomicIkey {
+  std::atomic<uint64_t> hi_{0};
+  std::atomic<uint64_t> lo_{0};
+
+  Ikey load(std::memory_order = std::memory_order_relaxed) const {
+    return make_u128(hi_.load(std::memory_order_relaxed),
+                     lo_.load(std::memory_order_relaxed));
+  }
+  void store(Ikey v, std::memory_order = std::memory_order_relaxed) {
+    hi_.store(u128_hi(v), std::memory_order_relaxed);
+    lo_.store(u128_lo(v), std::memory_order_relaxed);
+  }
+};
+
+// uint64_t: one plain atomic — the seed representation.
+template <>
+struct AtomicIkey<uint64_t> {
+  std::atomic<uint64_t> v_{0};
+
+  uint64_t load(std::memory_order mo = std::memory_order_relaxed) const {
+    return v_.load(mo);
+  }
+  void store(uint64_t v,
+             std::memory_order mo = std::memory_order_relaxed) {
+    v_.store(v, mo);
+  }
+};
+
+template <typename Ikey>
+struct alignas(kCacheLine) NodeT {
   std::atomic<uint64_t> next{0};
-  std::atomic<uint64_t> ikey_{0};
-  std::atomic<Node*> back{nullptr};
-  std::atomic<Node*> down_{nullptr};
-  std::atomic<Node*> root_{nullptr};
+  AtomicIkey<Ikey> ikey_;
+  std::atomic<NodeT*> back{nullptr};
+  std::atomic<NodeT*> down_{nullptr};
+  std::atomic<NodeT*> root_{nullptr};
   std::atomic<uint64_t> prevw{0};
   std::atomic<uint64_t> stopw{0};
   std::atomic<uint32_t> ready{0};
   std::atomic<uint32_t> meta{0};  // level | orig_height<<8 | kind<<16
 
-  uint64_t ikey() const { return ikey_.load(std::memory_order_relaxed); }
-  Node* down() const { return down_.load(std::memory_order_relaxed); }
-  Node* root() const { return root_.load(std::memory_order_relaxed); }
+  Ikey ikey() const { return ikey_.load(std::memory_order_relaxed); }
+  NodeT* down() const { return down_.load(std::memory_order_relaxed); }
+  NodeT* root() const { return root_.load(std::memory_order_relaxed); }
   uint32_t level() const {
     return meta.load(std::memory_order_relaxed) & 0xffu;
   }
@@ -70,8 +112,8 @@ struct alignas(kCacheLine) Node {
         (meta.load(std::memory_order_relaxed) >> 16) & 0xffu);
   }
 
-  void init(uint64_t ikey, uint32_t level, uint32_t orig_height,
-            NodeKind kind, Node* down, Node* root) {
+  void init(Ikey ikey, uint32_t level, uint32_t orig_height, NodeKind kind,
+            NodeT* down, NodeT* root) {
     next.store(0, std::memory_order_relaxed);
     ikey_.store(ikey, std::memory_order_relaxed);
     back.store(nullptr, std::memory_order_relaxed);
@@ -89,7 +131,7 @@ struct alignas(kCacheLine) Node {
   // EBR grace period; concurrent readers via stale guide pointers see either
   // the old fields or the poison values, never torn non-atomic data.
   void poison() {
-    ikey_.store(UINT64_MAX, std::memory_order_relaxed);
+    ikey_.store(ikey_all_ones<Ikey>(), std::memory_order_relaxed);
     back.store(nullptr, std::memory_order_relaxed);
     down_.store(nullptr, std::memory_order_relaxed);
     root_.store(nullptr, std::memory_order_relaxed);
@@ -101,6 +143,10 @@ struct alignas(kCacheLine) Node {
                std::memory_order_release);
   }
 };
+
+// The u64 fast path keeps the historical name; the templated engine uses
+// NodeT<Traits::ikey_type> directly.
+using Node = NodeT<uint64_t>;
 
 static_assert(sizeof(Node) == kCacheLine, "Node must be one cache line");
 

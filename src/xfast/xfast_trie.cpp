@@ -9,9 +9,10 @@ namespace skiptrie {
 
 namespace {
 // A trie child pointer should name a live top-level interior node; heads,
-// tails and poisoned storage read as ikey 0 / UINT64_MAX.
-inline bool plausible_candidate(uint64_t ik) {
-  return ik != 0 && ik != UINT64_MAX;
+// tails and poisoned storage read as ikey 0 / all-ones.
+template <typename Ikey>
+inline bool plausible_candidate(Ikey ik) {
+  return ik != Ikey(0) && ik != ikey_all_ones<Ikey>();
 }
 
 // Per-thread hint: an EWMA (x4 fixed point) of the prefix lengths where
@@ -20,38 +21,47 @@ inline bool plausible_candidate(uint64_t ik) {
 // running mean collapses the usual ~log B probes to ~2-4; the average beats
 // the raw last sample because |depth - mean| is stochastically smaller than
 // the distance between two independent draws.  Shared across trie
-// instances by design — a stale hint costs a few extra gallop probes
-// before the search degrades gracefully to plain binary search;
-// correctness never depends on it.
-thread_local uint32_t tl_anc_len_hint4 = 0;
+// instances of the same traits by design — a stale hint costs a few extra
+// gallop probes before the search degrades gracefully to plain binary
+// search; correctness never depends on it.  One hint per traits
+// instantiation (depths live in different ranges at different W).
+template <typename Traits>
+uint32_t& tl_anc_len_hint4() {
+  thread_local uint32_t v = 0;
+  return v;
+}
 }  // namespace
 
-XFastTrie::XFastTrie(DcssContext ctx, SkipListEngine& engine, uint32_t bits,
-                     size_t max_hash_buckets)
+template <typename Traits>
+BasicXFastTrie<Traits>::BasicXFastTrie(DcssContext ctx, Engine& engine,
+                                       uint32_t bits, size_t max_hash_buckets)
     : ctx_(ctx), strict_ctx_{ctx.ebr, DcssMode::kDcss}, engine_(engine),
       bits_(bits), map_(strict_ctx_, max_hash_buckets) {
-  assert(bits_ >= 4 && bits_ <= 64);
+  assert(bits_ >= 4 && bits_ <= Traits::kMaxBits);
   root_ = new TreeNode();
-  const bool ok = map_.insert(encode_prefix(0, 0, bits_),
+  const bool ok = map_.insert(Traits::encode_prefix(Ikey(0), 0, bits_),
                               reinterpret_cast<uint64_t>(root_));
   assert(ok);
   (void)ok;
 }
 
-XFastTrie::~XFastTrie() {
+template <typename Traits>
+BasicXFastTrie<Traits>::~BasicXFastTrie() {
   // Quiescent teardown: every TreeNode still referenced by the table is
   // deleted here; TreeNodes removed earlier were EBR-retired by their
   // removers.
-  map_.for_each([](uint64_t, uint64_t value) {
+  map_.for_each([](Ikey, uint64_t value) {
     delete reinterpret_cast<TreeNode*>(value);
   });
 }
 
-size_t XFastTrie::approx_bytes() const {
+template <typename Traits>
+size_t BasicXFastTrie<Traits>::approx_bytes() const {
   return map_.approx_bytes() + map_.size() * sizeof(TreeNode);
 }
 
-Node* XFastTrie::lowest_ancestor(uint64_t key, uint64_t x) {
+template <typename Traits>
+auto BasicXFastTrie<Traits>::lowest_ancestor(Ikey key, Ikey x) -> Node_t* {
   // Algorithm 3 as a binary search on prefix length, see DESIGN.md §3.5(4),
   // restructured for probe economy:
   //  - the search is seeded from tl_anc_len_hint4 (running mean landing
@@ -66,24 +76,26 @@ Node* XFastTrie::lowest_ancestor(uint64_t key, uint64_t x) {
   //    pointers (always present) — pred_start is only a hint, walk_left
   //    and the descent validate everything.
   auto& c = tls_counters();
-  Node* best = nullptr;
-  uint64_t best_dist = UINT64_MAX;
+  Node_t* best = nullptr;
+  Ikey best_dist = Traits::ikey_max();
+  bool have_best = false;
   auto consider = [&](uint64_t word) {
-    Node* cand = unpack_ptr<Node>(word);
+    Node_t* cand = unpack_ptr<Node_t>(word);
     if (cand == nullptr) return;
-    const uint64_t ik = cand->ikey();
+    const Ikey ik = cand->ikey();
     if (!plausible_candidate(ik)) return;
-    const uint64_t d = abs_diff(ik, x);
-    if (d < best_dist) {
+    const Ikey d = Traits::abs_diff(ik, x);
+    if (!have_best || d < best_dist) {
       best_dist = d;
       best = cand;
+      have_best = true;
     }
   };
 
   TreeNode* deepest = nullptr;  // entry of the longest prefix found so far
   auto probe = [&](uint32_t len) -> bool {
     c.probes_binsearch++;
-    const auto found = map_.lookup(encode_prefix(key, len, bits_));
+    const auto found = map_.lookup(Traits::encode_prefix(key, len, bits_));
     if (!found.has_value()) return false;
     deepest = reinterpret_cast<TreeNode*>(*found);
     return true;
@@ -96,7 +108,8 @@ Node* XFastTrie::lowest_ancestor(uint64_t key, uint64_t x) {
   // window.  Ancestor depth concentrates near log2(top-level population),
   // so the true depth is usually within a couple of levels of the hint:
   // cost ~2 + 2*log2(|true - hint|) probes instead of ~log2 B.
-  const uint32_t hint = (tl_anc_len_hint4 + 2) / 4;
+  uint32_t& hint4 = tl_anc_len_hint4<Traits>();
+  const uint32_t hint = (hint4 + 2) / 4;
   const uint32_t seed = hint < 1 ? 1 : (hint > hi ? hi : hint);
   if (probe(seed)) {
     lo = seed;
@@ -133,7 +146,7 @@ Node* XFastTrie::lowest_ancestor(uint64_t key, uint64_t x) {
       hi = mid - 1;
     }
   }
-  tl_anc_len_hint4 = (tl_anc_len_hint4 * 3) / 4 + lo;  // EWMA, alpha = 1/4
+  hint4 = (hint4 * 3) / 4 + lo;  // EWMA, alpha = 1/4
 
   // Read the deepest hit's two child words (the only consider reads on the
   // common path).  `deepest` corresponds to length lo: hits happen at
@@ -146,21 +159,23 @@ Node* XFastTrie::lowest_ancestor(uint64_t key, uint64_t x) {
     // No usable candidate below the root (empty trie, or the deepest entry
     // died under us): fall back to the root entry, paper line 4, querying
     // the key-direction subtree first and the opposite as a last resort.
-    const uint64_t b0 = key_bit(key, 0, bits_);
+    const uint64_t b0 = Traits::bit(key, 0, bits_);
     consider(dcss_read(root_->ptrs[b0]));
     consider(dcss_read(root_->ptrs[1 - b0]));
   }
   return best;
 }
 
-Node* XFastTrie::pred_start(uint64_t key, uint64_t x) {
-  Node* anc = lowest_ancestor(key, x);
+template <typename Traits>
+auto BasicXFastTrie<Traits>::pred_start(Ikey key, Ikey x) -> Node_t* {
+  Node_t* anc = lowest_ancestor(key, x);
   if (anc == nullptr) anc = engine_.head(engine_.top_level());
   // Algorithm 4: walk back/prev guides until ikey < x.
   return engine_.walk_left(x, anc);
 }
 
-bool XFastTrie::kill_entry(uint64_t p, TreeNode* tn) {
+template <typename Traits>
+bool BasicXFastTrie<Traits>::kill_entry(Ikey p, TreeNode* tn) {
   // Irreversible entry removal (DESIGN.md §3.5(3)).  The naive protocol —
   // read (0, 0), then compareAndDelete — loses concurrent inserts: a writer
   // can install its node into ptrs[d] between the read and the unlink, and
@@ -198,8 +213,9 @@ bool XFastTrie::kill_entry(uint64_t p, TreeNode* tn) {
   }
 }
 
-bool XFastTrie::cover_level(uint64_t p, uint32_t len, uint64_t d,
-                            Node* node) {
+template <typename Traits>
+bool BasicXFastTrie<Traits>::cover_level(Ikey p, uint32_t len, uint64_t d,
+                                         Node_t* node) {
   auto& c = tls_counters();
   for (;;) {
     c.trie_level_ops++;
@@ -231,10 +247,10 @@ bool XFastTrie::cover_level(uint64_t p, uint32_t len, uint64_t d,
       if (len > 0) kill_entry(p, tn);
       continue;
     }
-    Node* cn = unpack_ptr<Node>(curr);
+    Node_t* cn = unpack_ptr<Node_t>(curr);
     if (cn != nullptr) {
-      const uint64_t ck = cn->ikey();
-      const uint64_t nk = node->ikey();
+      const Ikey ck = cn->ikey();
+      const Ikey nk = node->ikey();
       if (plausible_candidate(ck) && is_marked(dcss_read(cn->next))) {
         // A marked candidate neither covers (its delete sweep may already
         // be past this prefix) nor may we simply overwrite it with our own
@@ -244,7 +260,7 @@ bool XFastTrie::cover_level(uint64_t p, uint32_t len, uint64_t d,
         // node — skips the repair.  Help the deleter instead: perform its
         // Alg. 7 swing to the candidate's top-level neighbor (which covers
         // everything the candidate covered), then re-examine.
-        Node* hint = engine_.head(engine_.top_level());
+        Node_t* hint = engine_.head(engine_.top_level());
         sweep_level(p, len, d, ck, cn, hint);
         continue;
       }
@@ -272,7 +288,7 @@ bool XFastTrie::cover_level(uint64_t p, uint32_t len, uint64_t d,
                               tn->ptrs[1 - d], other);
     if (!r.success) continue;
     if (is_marked(dcss_read(node->next))) {
-      Node* hint = engine_.head(engine_.top_level());
+      Node_t* hint = engine_.head(engine_.top_level());
       sweep_level(p, len, d, node->ikey(), node, hint);
       return false;
     }
@@ -280,17 +296,21 @@ bool XFastTrie::cover_level(uint64_t p, uint32_t len, uint64_t d,
   }
 }
 
-void XFastTrie::insert_prefixes(uint64_t key, Node* node) {
+template <typename Traits>
+void BasicXFastTrie<Traits>::insert_prefixes(Ikey key, Node_t* node) {
   // Bottom-up: longest proper prefix first (Alg. 6 line 5).
   for (int len = static_cast<int>(bits_) - 1; len >= 0; --len) {
-    const uint64_t p = encode_prefix(key, static_cast<uint32_t>(len), bits_);
-    const uint64_t d = key_bit(key, static_cast<uint32_t>(len), bits_);
+    const Ikey p = Traits::encode_prefix(key, static_cast<uint32_t>(len),
+                                         bits_);
+    const uint64_t d = Traits::bit(key, static_cast<uint32_t>(len), bits_);
     if (!cover_level(p, static_cast<uint32_t>(len), d, node)) return;
   }
 }
 
-void XFastTrie::sweep_level(uint64_t p, uint32_t len, uint64_t d, uint64_t x,
-                            Node* node, Node*& left_hint) {
+template <typename Traits>
+void BasicXFastTrie<Traits>::sweep_level(Ikey p, uint32_t len, uint64_t d,
+                                         Ikey x, Node_t* node,
+                                         Node_t*& left_hint) {
   auto& c = tls_counters();
   const uint32_t top = engine_.top_level();
   c.trie_level_ops++;
@@ -303,8 +323,8 @@ void XFastTrie::sweep_level(uint64_t p, uint32_t len, uint64_t d, uint64_t x,
   // (A bounded clear-to-null fallback is NOT sound: it permanently trades
   // away another live key's coverage, which later cascades into wrongful
   // entry death — DESIGN.md §3.5(3).)
-  while (unpack_ptr<Node>(curr) == node) {
-    const SkipListEngine::Bracket b = engine_.list_search(x, left_hint, top);
+  while (unpack_ptr<Node_t>(curr) == node) {
+    const typename Engine::Bracket b = engine_.list_search(x, left_hint, top);
     left_hint = b.left;
     if (d == 0) {
       // Swing backwards to left, guarded on left unmarked and adjacent
@@ -322,13 +342,13 @@ void XFastTrie::sweep_level(uint64_t p, uint32_t len, uint64_t d, uint64_t x,
   }
   // If the pointer left the p.d subtree entirely, the subtree is empty:
   // clear it (Alg. 7 lines 19-20).
-  Node* cn = unpack_ptr<Node>(curr);
+  Node_t* cn = unpack_ptr<Node_t>(curr);
   if (cn != nullptr) {
-    const uint64_t ck = cn->ikey();
+    const Ikey ck = cn->ikey();
     const bool in_subtree =
         plausible_candidate(ck) &&
         cn->kind() == NodeKind::kInterior &&
-        prefix_matches(p, ck - 1, len, bits_);
+        Traits::prefix_matches(p, ck - Ikey(1), len, bits_);
     if (!in_subtree) {
       counted_cas(tn->ptrs[d], curr, 0);
     }
@@ -340,18 +360,22 @@ void XFastTrie::sweep_level(uint64_t p, uint32_t len, uint64_t d, uint64_t x,
   }
 }
 
-void XFastTrie::remove_prefixes(uint64_t key, Node* node,
-                                Node* top_left_hint) {
-  const uint64_t x = node->ikey();
-  Node* left_hint = top_left_hint != nullptr
-                        ? top_left_hint
-                        : engine_.head(engine_.top_level());
+template <typename Traits>
+void BasicXFastTrie<Traits>::remove_prefixes(Ikey key, Node_t* node,
+                                             Node_t* top_left_hint) {
+  const Ikey x = node->ikey();
+  Node_t* left_hint = top_left_hint != nullptr
+                          ? top_left_hint
+                          : engine_.head(engine_.top_level());
   // Top-down: shortest prefix first (Alg. 7 line 5).
   for (uint32_t len = 0; len < bits_; ++len) {
-    const uint64_t p = encode_prefix(key, len, bits_);
-    const uint64_t d = key_bit(key, len, bits_);
+    const Ikey p = Traits::encode_prefix(key, len, bits_);
+    const uint64_t d = Traits::bit(key, len, bits_);
     sweep_level(p, len, d, x, node, left_hint);
   }
 }
+
+template class BasicXFastTrie<U64Traits>;
+template class BasicXFastTrie<Bytes16Traits>;
 
 }  // namespace skiptrie

@@ -4,10 +4,16 @@
 // unsorted and duplicate-bearing inputs, results reported in input order),
 // the empty batch, the cursor-reuse attribution sums (schema v4 counters),
 // the Config::use_cursor_batching ablation, the baseline's batch API, and
-// — the regression this PR must pin — a concurrent erase retiring a node
+// — the regression PR 5 pinned — a concurrent erase retiring a node
 // the batch cursor is parked on: the reuse screen must reject it and fall
 // back without ever reading reclaimed-and-unmapped memory (run under
 // -DSKIPTRIE_SANITIZE=address|thread).
+//
+// The sequential suites are TYPED_TESTs over {U64Traits, Bytes16Traits}
+// (DESIGN.md §6): under the sanitizer builds that is what certifies the
+// wide instantiation's batch path end to end.  Wide keys are spread across
+// both machine words (monotonically) so sorting, cursor brackets and
+// predecessor arithmetic exercise genuine 128-bit compares.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,58 +23,95 @@
 #include <vector>
 
 #include "baseline/lockfree_skiplist.h"
+#include "common/key_traits.h"
 #include "common/stats.h"
 #include "core/skiptrie.h"
 
 namespace skiptrie {
 namespace {
 
-std::vector<uint64_t> keys_mod(size_t n, uint64_t mul, uint64_t mod) {
-  std::vector<uint64_t> k(n);
-  for (size_t i = 0; i < n; ++i) k[i] = (i * mul) % mod;
-  return k;
-}
+template <typename Traits>
+class TypedBatchTest : public ::testing::Test {
+ protected:
+  using Trie = BasicSkipTrie<Traits>;
+  using K = typename Traits::key_type;
 
-TEST(BatchTest, SortedEquivalenceAgainstPerKeyOps) {
-  SkipTrie batched, plain;
-  std::vector<uint64_t> keys(1024);
-  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i * 37;  // sorted
+  // A universe wide enough that spread keys genuinely overflow 64 bits on
+  // the wide traits; the u64 instantiation keeps the seed default (32).
+  static Config cfg() {
+    Config c;
+    if constexpr (Traits::kMaxBits > 64) c.universe_bits = 120;
+    return c;
+  }
+
+  // Strictly monotone embedding of a small test key into the universe.
+  static K key(uint64_t k) {
+    if constexpr (Traits::kMaxBits > 64) {
+      return (K(k) << 56) | K(k);
+    } else {
+      return K(k);
+    }
+  }
+  static std::vector<K> lift(const std::vector<uint64_t>& v) {
+    std::vector<K> out;
+    out.reserve(v.size());
+    for (const uint64_t k : v) out.push_back(key(k));
+    return out;
+  }
+  static std::vector<uint64_t> keys_mod(size_t n, uint64_t mul, uint64_t mod) {
+    std::vector<uint64_t> k(n);
+    for (size_t i = 0; i < n; ++i) k[i] = (i * mul) % mod;
+    return k;
+  }
+};
+
+using BatchTraits = ::testing::Types<U64Traits, Bytes16Traits>;
+TYPED_TEST_SUITE(TypedBatchTest, BatchTraits);
+
+TYPED_TEST(TypedBatchTest, SortedEquivalenceAgainstPerKeyOps) {
+  using Fix = TypedBatchTest<TypeParam>;
+  using K = typename Fix::K;
+  typename Fix::Trie batched(Fix::cfg()), plain(Fix::cfg());
+  std::vector<K> keys(1024);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = Fix::key(i * 37);
 
   std::vector<uint8_t> r_ins(keys.size());
   EXPECT_EQ(batched.insert_batch(keys, r_ins.data()), keys.size());
-  for (const uint64_t k : keys) EXPECT_TRUE(plain.insert(k));
+  for (const K& k : keys) EXPECT_TRUE(plain.insert(k));
   for (size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(r_ins[i]) << i;
   EXPECT_EQ(batched.size(), plain.size());
 
   // Membership and predecessor agree key for key, including misses.
-  std::vector<uint64_t> probes(2048);
-  for (size_t i = 0; i < probes.size(); ++i) probes[i] = i * 19 + 7;
+  std::vector<K> probes(2048);
+  for (size_t i = 0; i < probes.size(); ++i) probes[i] = Fix::key(i * 19 + 7);
   std::vector<uint8_t> r_has(probes.size());
-  std::vector<std::optional<uint64_t>> r_pred(probes.size());
+  std::vector<std::optional<K>> r_pred(probes.size());
   batched.contains_batch(probes, r_has.data());
   batched.predecessor_batch(probes, r_pred.data());
   for (size_t i = 0; i < probes.size(); ++i) {
     EXPECT_EQ(static_cast<bool>(r_has[i]), plain.contains(probes[i])) << i;
-    EXPECT_EQ(r_pred[i], plain.predecessor(probes[i])) << i;
+    EXPECT_TRUE(r_pred[i] == plain.predecessor(probes[i])) << i;
   }
 
   // Erase every third key through the batch API, the rest per key.
-  std::vector<uint64_t> third;
+  std::vector<K> third;
   for (size_t i = 0; i < keys.size(); i += 3) third.push_back(keys[i]);
   std::vector<uint8_t> r_er(third.size());
   EXPECT_EQ(batched.erase_batch(third, r_er.data()), third.size());
-  for (const uint64_t k : third) EXPECT_TRUE(plain.erase(k));
+  for (const K& k : third) EXPECT_TRUE(plain.erase(k));
   for (size_t i = 0; i < third.size(); ++i) EXPECT_TRUE(r_er[i]) << i;
   EXPECT_EQ(batched.size(), plain.size());
-  for (const uint64_t k : keys) {
-    EXPECT_EQ(batched.contains(k), plain.contains(k)) << k;
+  for (const K& k : keys) {
+    EXPECT_EQ(batched.contains(k), plain.contains(k));
   }
 }
 
-TEST(BatchTest, UnsortedAndDuplicateInputsReportInInputOrder) {
-  SkipTrie t;
+TYPED_TEST(TypedBatchTest, UnsortedAndDuplicateInputsReportInInputOrder) {
+  using Fix = TypedBatchTest<TypeParam>;
+  using K = typename Fix::K;
+  typename Fix::Trie t(Fix::cfg());
   // Unsorted with duplicates: 40 appears at indices 1 and 3, 10 at 2 and 5.
-  const std::vector<uint64_t> keys = {90, 40, 10, 40, 70, 10, 0};
+  const std::vector<K> keys = Fix::lift({90, 40, 10, 40, 70, 10, 0});
   std::vector<uint8_t> r(keys.size());
   EXPECT_EQ(t.insert_batch(keys, r.data()), 5u);
   // First occurrence of each duplicate wins (stable sort).
@@ -81,24 +124,24 @@ TEST(BatchTest, UnsortedAndDuplicateInputsReportInInputOrder) {
   EXPECT_TRUE(r[6]);
   EXPECT_EQ(t.size(), 5u);
 
-  std::vector<std::optional<uint64_t>> pred(keys.size());
+  std::vector<std::optional<K>> pred(keys.size());
   EXPECT_EQ(t.predecessor_batch(keys, pred.data()), keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     ASSERT_TRUE(pred[i].has_value()) << i;
-    EXPECT_EQ(*pred[i], keys[i]) << i;  // every key is present
+    EXPECT_TRUE(*pred[i] == keys[i]) << i;  // every key is present
   }
   // Strictly-below-minimum probe has no predecessor and must say so in
   // input order even though it sorts first.
-  const std::vector<uint64_t> probes = {95, 40, 5, 0};
-  std::vector<std::optional<uint64_t>> p2(probes.size());
+  const std::vector<K> probes = Fix::lift({95, 40, 5, 0});
+  std::vector<std::optional<K>> p2(probes.size());
   EXPECT_EQ(t.predecessor_batch(probes, p2.data()), probes.size());
-  EXPECT_EQ(*p2[0], 90u);
-  EXPECT_EQ(*p2[1], 40u);
-  EXPECT_EQ(*p2[2], 0u);
-  EXPECT_EQ(*p2[3], 0u);
+  EXPECT_TRUE(*p2[0] == Fix::key(90));
+  EXPECT_TRUE(*p2[1] == Fix::key(40));
+  EXPECT_TRUE(*p2[2] == Fix::key(0));
+  EXPECT_TRUE(*p2[3] == Fix::key(0));
 
   // Duplicate erases: one success, reported on the first occurrence.
-  const std::vector<uint64_t> er = {40, 40, 90};
+  const std::vector<K> er = Fix::lift({40, 40, 90});
   std::vector<uint8_t> re(er.size());
   EXPECT_EQ(t.erase_batch(er, re.data()), 2u);
   EXPECT_TRUE(re[0]);
@@ -107,9 +150,10 @@ TEST(BatchTest, UnsortedAndDuplicateInputsReportInInputOrder) {
   EXPECT_EQ(t.size(), 3u);
 }
 
-TEST(BatchTest, EmptyBatchIsANoOp) {
-  SkipTrie t;
-  t.insert(5);
+TYPED_TEST(TypedBatchTest, EmptyBatchIsANoOp) {
+  using Fix = TypedBatchTest<TypeParam>;
+  typename Fix::Trie t(Fix::cfg());
+  t.insert(Fix::key(5));
   tls_counters() = StepCounters{};
   EXPECT_EQ(t.insert_batch(nullptr, 0), 0u);
   EXPECT_EQ(t.erase_batch(nullptr, 0), 0u);
@@ -117,20 +161,22 @@ TEST(BatchTest, EmptyBatchIsANoOp) {
   EXPECT_EQ(t.predecessor_batch(nullptr, 0), 0u);
   EXPECT_EQ(tls_counters().batch_ops, 0u);
   EXPECT_EQ(tls_counters().batch_keys, 0u);
-  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.contains(Fix::key(5)));
   tls_counters() = StepCounters{};
 }
 
-TEST(BatchTest, CursorReuseAttributionSums) {
+TYPED_TEST(TypedBatchTest, CursorReuseAttributionSums) {
+  using Fix = TypedBatchTest<TypeParam>;
+  using K = typename Fix::K;
   // A fresh thread pins the accounting: tls cursors and fingers are
   // thread-local, so the first seek of the first batch is deterministically
   // cold (counts neither reuse nor redescend).
   std::thread probe([] {
-    SkipTrie t;
-    for (uint64_t k = 0; k < 512; ++k) t.insert(k * 4);
+    typename Fix::Trie t(Fix::cfg());
+    for (uint64_t k = 0; k < 512; ++k) t.insert(Fix::key(k * 4));
 
-    const std::vector<uint64_t> batch = keys_mod(256, 4, 2048);
-    std::vector<uint64_t> sorted = batch;
+    const std::vector<K> batch = Fix::lift(Fix::keys_mod(256, 4, 2048));
+    std::vector<K> sorted = batch;
     std::sort(sorted.begin(), sorted.end());
 
     tls_counters() = StepCounters{};
@@ -152,9 +198,9 @@ TEST(BatchTest, CursorReuseAttributionSums) {
     EXPECT_EQ(c.cursor_reuses + c.cursor_redescends, sorted.size());
 
     // Write batches follow the same ledger.
-    const std::vector<uint64_t> fresh = keys_mod(128, 4, 8192);
-    std::vector<uint64_t> ins;
-    for (const uint64_t k : fresh) ins.push_back(k + 2048 * 4);
+    const std::vector<uint64_t> fresh = Fix::keys_mod(128, 4, 8192);
+    std::vector<K> ins;
+    for (const uint64_t k : fresh) ins.push_back(Fix::key(k + 2048 * 4));
     tls_counters() = StepCounters{};
     t.insert_batch(ins);
     t.erase_batch(ins);
@@ -167,12 +213,13 @@ TEST(BatchTest, CursorReuseAttributionSums) {
   probe.join();
 }
 
-TEST(BatchTest, SingleKeyOpsProduceNoBatchCounters) {
-  SkipTrie t;
+TYPED_TEST(TypedBatchTest, SingleKeyOpsProduceNoBatchCounters) {
+  using Fix = TypedBatchTest<TypeParam>;
+  typename Fix::Trie t(Fix::cfg());
   tls_counters() = StepCounters{};
-  for (uint64_t k = 0; k < 256; ++k) t.insert(k * 3);
-  for (uint64_t k = 0; k < 256; ++k) t.contains(k * 3);
-  for (uint64_t k = 0; k < 64; ++k) t.erase(k * 3);
+  for (uint64_t k = 0; k < 256; ++k) t.insert(Fix::key(k * 3));
+  for (uint64_t k = 0; k < 256; ++k) t.contains(Fix::key(k * 3));
+  for (uint64_t k = 0; k < 64; ++k) t.erase(Fix::key(k * 3));
   const StepCounters& c = tls_counters();
   EXPECT_EQ(c.batch_ops, 0u);
   EXPECT_EQ(c.batch_keys, 0u);
@@ -181,26 +228,28 @@ TEST(BatchTest, SingleKeyOpsProduceNoBatchCounters) {
   tls_counters() = StepCounters{};
 }
 
-TEST(BatchTest, AblationMatchesResultsAndStaysCold) {
-  Config off_cfg;
+TYPED_TEST(TypedBatchTest, AblationMatchesResultsAndStaysCold) {
+  using Fix = TypedBatchTest<TypeParam>;
+  using K = typename Fix::K;
+  Config off_cfg = Fix::cfg();
   off_cfg.use_cursor_batching = false;
-  SkipTrie off(off_cfg);
-  SkipTrie on;
+  typename Fix::Trie off(off_cfg);
+  typename Fix::Trie on(Fix::cfg());
 
-  const std::vector<uint64_t> keys = keys_mod(777, 7919, 16384);
+  const std::vector<K> keys = Fix::lift(Fix::keys_mod(777, 7919, 16384));
   std::vector<uint8_t> ra(keys.size()), rb(keys.size());
   EXPECT_EQ(off.insert_batch(keys, ra.data()), on.insert_batch(keys, rb.data()));
   EXPECT_EQ(ra, rb);
 
-  const std::vector<uint64_t> probes = keys_mod(999, 31, 16384);
+  const std::vector<K> probes = Fix::lift(Fix::keys_mod(999, 31, 16384));
   std::vector<uint8_t> ha(probes.size()), hb(probes.size());
   EXPECT_EQ(off.contains_batch(probes, ha.data()),
             on.contains_batch(probes, hb.data()));
   EXPECT_EQ(ha, hb);
-  std::vector<std::optional<uint64_t>> pa(probes.size()), pb(probes.size());
+  std::vector<std::optional<K>> pa(probes.size()), pb(probes.size());
   EXPECT_EQ(off.predecessor_batch(probes, pa.data()),
             on.predecessor_batch(probes, pb.data()));
-  EXPECT_EQ(pa, pb);
+  EXPECT_TRUE(pa == pb);
 
   std::vector<uint8_t> ea(keys.size()), eb(keys.size());
   EXPECT_EQ(off.erase_batch(keys, ea.data()), on.erase_batch(keys, eb.data()));
@@ -214,6 +263,12 @@ TEST(BatchTest, AblationMatchesResultsAndStaysCold) {
   EXPECT_EQ(tls_counters().cursor_redescends, 0u);
   EXPECT_GT(tls_counters().batch_ops, 0u);  // API-level counters still tally
   tls_counters() = StepCounters{};
+}
+
+std::vector<uint64_t> keys_mod(size_t n, uint64_t mul, uint64_t mod) {
+  std::vector<uint64_t> k(n);
+  for (size_t i = 0; i < n; ++i) k[i] = (i * mul) % mod;
+  return k;
 }
 
 TEST(BatchTest, BaselineBatchMatchesPerKeyOps) {

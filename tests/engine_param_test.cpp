@@ -1,11 +1,15 @@
 // Parameterized engine sweeps: the same tower/list invariants must hold for
 // every truncation height (the SkipTrie uses 3..7 levels, the baseline up
-// to ~40) and for both synchronization modes.
+// to ~40), for both synchronization modes, and — since the key-traits
+// refactor (DESIGN.md §6) — for both shipped key universes.  The sweeps are
+// TYPED_TESTs over {U64Traits, Bytes16Traits}; each test iterates the
+// (top, mode) grid internally.  The 128-bit ikeys are spread across both
+// machine words so the comparisons genuinely exercise wide arithmetic.
 #include <gtest/gtest.h>
 
 #include <set>
-#include <tuple>
 
+#include "common/key_traits.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "skiplist/engine.h"
@@ -13,113 +17,153 @@
 namespace skiptrie {
 namespace {
 
-class EngineSweep
-    : public ::testing::TestWithParam<std::tuple<uint32_t, DcssMode>> {
+constexpr uint32_t kTops[] = {1u, 2u, 3u, 5u, 6u, 10u, 20u};
+constexpr DcssMode kModes[] = {DcssMode::kDcss, DcssMode::kCasFallback};
+
+template <typename Traits>
+class EngineSweep : public ::testing::Test {
  protected:
-  EngineSweep()
-      : arena_(sizeof(Node), kCacheLine, 1024),
-        ctx_{&ebr_, std::get<1>(GetParam())},
-        eng_(ctx_, arena_, std::get<0>(GetParam())) {}
+  using Ikey = typename Traits::ikey_type;
+  using Node_t = NodeT<Ikey>;
+  using Engine = BasicSkipListEngine<Traits>;
 
-  uint32_t top() const { return std::get<0>(GetParam()); }
-  static uint64_t ik(uint64_t k) { return k + 1; }
+  struct Rig {
+    SlabArena arena;
+    EbrDomain ebr;
+    DcssContext ctx;
+    Engine eng;
+    Rig(uint32_t top, DcssMode mode)
+        : arena(sizeof(Node_t), kCacheLine, 1024),
+          ctx{&ebr, mode},
+          eng(ctx, arena, top) {}
+  };
 
-  SlabArena arena_;
-  EbrDomain ebr_;
-  DcssContext ctx_;
-  SkipListEngine eng_;
+  // Strictly monotone key -> ikey embedding.  For the wide universe the
+  // value lands in both 64-bit halves, so ordering decisions can't be
+  // satisfied by the low word alone.
+  static Ikey ik(uint64_t k) {
+    if constexpr (Traits::kMaxBits > 64) {
+      return (Ikey(k + 1) << 64) | Ikey(k + 1);
+    } else {
+      return Ikey(k + 1);
+    }
+  }
 };
 
-TEST_P(EngineSweep, FullHeightTowerSpansAllLevels) {
-  EbrDomain::Guard g(ebr_);
-  ASSERT_TRUE(eng_.insert(ik(42), eng_.head(top()), top()).inserted);
-  for (uint32_t l = 0; l <= top(); ++l) {
-    Node* n = eng_.first_at(l);
-    ASSERT_NE(n, nullptr) << "level " << l;
-    EXPECT_EQ(n->ikey(), ik(42));
-  }
-}
+using SweepTraits = ::testing::Types<U64Traits, Bytes16Traits>;
+TYPED_TEST_SUITE(EngineSweep, SweepTraits);
 
-TEST_P(EngineSweep, EraseAtEveryHeightCleansAllLevels) {
-  EbrDomain::Guard g(ebr_);
-  for (uint32_t h = 0; h <= top(); ++h) {
-    const uint64_t key = 100 + h;
-    ASSERT_TRUE(eng_.insert(ik(key), eng_.head(top()), h).inserted);
-    auto r = eng_.erase(ik(key), eng_.head(top()));
-    ASSERT_TRUE(r.erased) << "height " << h;
-    EXPECT_EQ(r.top != nullptr, h == top()) << "height " << h;
-    eng_.retire_owned(r);
-    for (uint32_t l = 0; l <= top(); ++l) {
-      EXPECT_EQ(eng_.first_at(l), nullptr) << "h=" << h << " level " << l;
+TYPED_TEST(EngineSweep, FullHeightTowerSpansAllLevels) {
+  using Fix = EngineSweep<TypeParam>;
+  for (const uint32_t top : kTops) {
+    for (const DcssMode mode : kModes) {
+      typename Fix::Rig r(top, mode);
+      EbrDomain::Guard g(r.ebr);
+      ASSERT_TRUE(r.eng.insert(Fix::ik(42), r.eng.head(top), top).inserted);
+      for (uint32_t l = 0; l <= top; ++l) {
+        auto* n = r.eng.first_at(l);
+        ASSERT_NE(n, nullptr) << "top " << top << " level " << l;
+        EXPECT_TRUE(n->ikey() == Fix::ik(42));
+      }
     }
   }
 }
 
-TEST_P(EngineSweep, InterleavedChurnMatchesReference) {
-  EbrDomain::Guard g(ebr_);
-  Xoshiro256 rng(top() * 7 + 1);
-  std::set<uint64_t> ref;
-  for (int i = 0; i < 3000; ++i) {
-    const uint64_t k = rng.next_below(128);
-    if (rng.next() & 1) {
-      const bool ours =
-          eng_.insert(ik(k), eng_.head(top()), rng.geometric_height(top()))
-              .inserted;
-      ASSERT_EQ(ours, ref.insert(k).second);
-    } else {
-      auto r = eng_.erase(ik(k), eng_.head(top()));
-      ASSERT_EQ(r.erased, ref.erase(k) > 0);
-      if (r.erased) eng_.retire_owned(r);
-    }
-  }
-  size_t count = 0;
-  for (Node* n = eng_.first_at(0); n != nullptr; n = eng_.next_at(n)) ++count;
-  EXPECT_EQ(count, ref.size());
-}
-
-TEST_P(EngineSweep, BracketsAlwaysSortedAndTight) {
-  EbrDomain::Guard g(ebr_);
-  Xoshiro256 rng(9);
-  std::set<uint64_t> ref;
-  for (int i = 0; i < 500; ++i) {
-    const uint64_t k = rng.next_below(100000);
-    if (ref.insert(k).second) {
-      ASSERT_TRUE(
-          eng_.insert(ik(k), eng_.head(top()), rng.geometric_height(top()))
-              .inserted);
-    }
-  }
-  for (int i = 0; i < 500; ++i) {
-    const uint64_t q = rng.next_below(100000);
-    const auto b = eng_.descend(ik(q), eng_.head(top()));
-    // left < ik(q) <= right, and they are adjacent in the reference too.
-    EXPECT_LT(b.left->ikey(), ik(q));
-    EXPECT_GE(b.right->ikey(), ik(q));
-    auto it = ref.lower_bound(q);
-    if (it == ref.begin()) {
-      EXPECT_EQ(b.left->kind(), NodeKind::kHead);
-    } else {
-      EXPECT_EQ(b.left->ikey(), ik(*std::prev(it)));
-    }
-    if (it == ref.end()) {
-      EXPECT_EQ(b.right->kind(), NodeKind::kTail);
-    } else {
-      EXPECT_EQ(b.right->ikey(), ik(*it));
+TYPED_TEST(EngineSweep, EraseAtEveryHeightCleansAllLevels) {
+  using Fix = EngineSweep<TypeParam>;
+  for (const uint32_t top : kTops) {
+    for (const DcssMode mode : kModes) {
+      typename Fix::Rig r(top, mode);
+      EbrDomain::Guard g(r.ebr);
+      for (uint32_t h = 0; h <= top; ++h) {
+        const uint64_t key = 100 + h;
+        ASSERT_TRUE(r.eng.insert(Fix::ik(key), r.eng.head(top), h).inserted);
+        auto res = r.eng.erase(Fix::ik(key), r.eng.head(top));
+        ASSERT_TRUE(res.erased) << "top " << top << " height " << h;
+        EXPECT_EQ(res.top != nullptr, h == top) << "height " << h;
+        r.eng.retire_owned(res);
+        for (uint32_t l = 0; l <= top; ++l) {
+          EXPECT_EQ(r.eng.first_at(l), nullptr)
+              << "top " << top << " h=" << h << " level " << l;
+        }
+      }
     }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    TopLevelsByMode, EngineSweep,
-    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 6u, 10u, 20u),
-                       ::testing::Values(DcssMode::kDcss,
-                                         DcssMode::kCasFallback)),
-    [](const auto& info) {
-      return "top" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) == DcssMode::kDcss ? "_dcss" : "_cas");
-    });
+TYPED_TEST(EngineSweep, InterleavedChurnMatchesReference) {
+  using Fix = EngineSweep<TypeParam>;
+  for (const uint32_t top : kTops) {
+    for (const DcssMode mode : kModes) {
+      typename Fix::Rig r(top, mode);
+      EbrDomain::Guard g(r.ebr);
+      Xoshiro256 rng(top * 7 + 1);
+      std::set<uint64_t> ref;
+      for (int i = 0; i < 1500; ++i) {
+        const uint64_t k = rng.next_below(128);
+        if (rng.next() & 1) {
+          const bool ours =
+              r.eng.insert(Fix::ik(k), r.eng.head(top),
+                           rng.geometric_height(top))
+                  .inserted;
+          ASSERT_EQ(ours, ref.insert(k).second);
+        } else {
+          auto res = r.eng.erase(Fix::ik(k), r.eng.head(top));
+          ASSERT_EQ(res.erased, ref.erase(k) > 0);
+          if (res.erased) r.eng.retire_owned(res);
+        }
+      }
+      size_t count = 0;
+      for (auto* n = r.eng.first_at(0); n != nullptr; n = r.eng.next_at(n)) {
+        ++count;
+      }
+      EXPECT_EQ(count, ref.size()) << "top " << top;
+    }
+  }
+}
 
-// Guide-pointer hardening: traversals must survive poisoned storage.
+TYPED_TEST(EngineSweep, BracketsAlwaysSortedAndTight) {
+  using Fix = EngineSweep<TypeParam>;
+  for (const uint32_t top : kTops) {
+    for (const DcssMode mode : kModes) {
+      typename Fix::Rig r(top, mode);
+      EbrDomain::Guard g(r.ebr);
+      Xoshiro256 rng(9);
+      std::set<uint64_t> ref;
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t k = rng.next_below(100000);
+        if (ref.insert(k).second) {
+          ASSERT_TRUE(r.eng
+                          .insert(Fix::ik(k), r.eng.head(top),
+                                  rng.geometric_height(top))
+                          .inserted);
+        }
+      }
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t q = rng.next_below(100000);
+        const auto b = r.eng.descend(Fix::ik(q), r.eng.head(top));
+        // left < ik(q) <= right, and they are adjacent in the reference too.
+        EXPECT_TRUE(b.left->ikey() < Fix::ik(q));
+        EXPECT_TRUE(b.right->ikey() >= Fix::ik(q));
+        auto it = ref.lower_bound(q);
+        if (it == ref.begin()) {
+          EXPECT_EQ(b.left->kind(), NodeKind::kHead);
+        } else {
+          EXPECT_TRUE(b.left->ikey() == Fix::ik(*std::prev(it)));
+        }
+        if (it == ref.end()) {
+          EXPECT_EQ(b.right->kind(), NodeKind::kTail);
+        } else {
+          EXPECT_TRUE(b.right->ikey() == Fix::ik(*it));
+        }
+      }
+    }
+  }
+}
+
+// Guide-pointer hardening: traversals must survive poisoned storage.  Runs
+// on the u64 alias — the poison/recycle machinery is byte-level and
+// key-width independent.
 class GuideHardening : public ::testing::Test {
  protected:
   GuideHardening()

@@ -133,16 +133,16 @@ TEST_F(FingerUnitTest, ClockEvictionKeepsReferencedEntries) {
 }
 
 TEST_F(FingerUnitTest, TlsFingerIsKeyedByOwnerId) {
-  SearchFinger& a = tls_finger(1001, 3);
-  SearchFinger& b = tls_finger(1002, 3);
+  SearchFinger& a = tls_finger<U64Traits>(1001, 3);
+  SearchFinger& b = tls_finger<U64Traits>(1002, 3);
   EXPECT_NE(&a, &b);
-  EXPECT_EQ(&a, &tls_finger(1001, 3));
+  EXPECT_EQ(&a, &tls_finger<U64Traits>(1001, 3));
   EXPECT_EQ(a.owner(), 1001u);
   EXPECT_EQ(b.owner(), 1002u);
 
   // Distinct threads get distinct fingers for the same owner.
   SearchFinger* other = nullptr;
-  std::thread t([&] { other = &tls_finger(1001, 3); });
+  std::thread t([&] { other = &tls_finger<U64Traits>(1001, 3); });
   t.join();
   EXPECT_NE(other, &a);
 }
@@ -265,7 +265,7 @@ TEST(RegistryAliasingTest, FingersStayDistinctAndStableAcrossManyOwners) {
     SearchFinger* fingers[kOwners];
     for (int i = 0; i < kOwners; ++i) {
       owners[i] = new_finger_owner();
-      fingers[i] = &tls_finger(owners[i], 3);
+      fingers[i] = &tls_finger<U64Traits>(owners[i], 3);
     }
     for (int i = 0; i < kOwners; ++i) {
       for (int j = i + 1; j < kOwners; ++j) {
@@ -277,7 +277,7 @@ TEST(RegistryAliasingTest, FingersStayDistinctAndStableAcrossManyOwners) {
     // finger[i]'s storage to another owner once i fell 4 fetches behind.
     for (int round = 0; round < 3; ++round) {
       for (int i = kOwners - 1; i >= 0; --i) {
-        SearchFinger& f = tls_finger(owners[i], 3);
+        SearchFinger& f = tls_finger<U64Traits>(owners[i], 3);
         EXPECT_EQ(&f, fingers[i]) << i;
         EXPECT_EQ(f.owner(), owners[i]);
       }

@@ -1,0 +1,151 @@
+// Codec pins for the 128-bit key universe (DESIGN.md §6).
+//
+// The bytes16 codec's whole contract is three properties: order
+// preservation (encode(a) < encode(b) iff a < b bytewise), injectivity +
+// exact round-trip, and bounded length (<= 15 bytes with the length byte in
+// the low 8 bits).  The IPv6 codec must be the identity order on address
+// bytes, with IPv4-mapped addresses ordered like their v4 values.
+#include "common/key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/key_traits.h"
+
+namespace skiptrie {
+namespace {
+
+TEST(KeyCodecTest, RoundTripAllLengths) {
+  for (size_t len = 0; len <= kBytes16MaxLen; ++len) {
+    std::string s;
+    for (size_t i = 0; i < len; ++i) s.push_back(static_cast<char>(0x41 + i));
+    const u128 e = encode_bytes16(s);
+    EXPECT_EQ(decode_bytes16_str(e), s) << "len " << len;
+    // Length sits exactly in the low byte.
+    EXPECT_EQ(u128_lo(e) & 0xffull, static_cast<uint64_t>(len));
+  }
+}
+
+TEST(KeyCodecTest, RoundTripBinaryBytes) {
+  // NUL bytes, 0xff bytes and high-bit content all survive.
+  const std::vector<std::string> cases = {
+      std::string("\x00", 1),
+      std::string("\x00\x00\x01", 3),
+      std::string("\xff\xfe\xfd", 3),
+      std::string("a\x00z", 3),
+      std::string(15, '\xff'),
+      std::string(15, '\x00'),
+  };
+  for (const std::string& s : cases) {
+    EXPECT_EQ(decode_bytes16_str(encode_bytes16(s)), s);
+  }
+}
+
+TEST(KeyCodecTest, OrderPreservation) {
+  // A deliberately adversarial set: shared prefixes, NUL-padding ties (the
+  // case the length byte must break), boundary lengths 8/9 (the hi/lo word
+  // seam), and extreme byte values.
+  std::vector<std::string> keys = {
+      "",
+      std::string("\x00", 1),
+      std::string("\x00\x00", 2),
+      std::string("\x00\x01", 2),
+      "a",
+      std::string("a\x00", 2),
+      std::string("a\x00\x00", 3),
+      "aa",
+      "ab",
+      "abcdefgh",        // exactly the hi word
+      "abcdefghi",       // first byte into the lo word
+      "abcdefghijklmno", // max length
+      "b",
+      std::string("\x7f", 1),
+      std::string("\x80", 1),  // sign-bit byte must sort above 0x7f
+      std::string("\xff", 1),
+      std::string("\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"
+                  "\xff",
+                  15),
+  };
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    const u128 a = encode_bytes16(keys[i]);
+    const u128 b = encode_bytes16(keys[i + 1]);
+    EXPECT_TRUE(a < b) << "\"" << keys[i] << "\" vs \"" << keys[i + 1] << "\"";
+  }
+}
+
+TEST(KeyCodecTest, OrderPreservationExhaustiveShortStrings) {
+  // All strings of length <= 2 over a 4-byte alphabet that brackets the
+  // interesting values: every pair must order identically to bytewise order.
+  const uint8_t alpha[] = {0x00, 0x01, 0x7f, 0xff};
+  std::vector<std::string> keys = {""};
+  for (uint8_t a : alpha) {
+    keys.push_back(std::string(1, static_cast<char>(a)));
+    for (uint8_t b : alpha) {
+      std::string s;
+      s.push_back(static_cast<char>(a));
+      s.push_back(static_cast<char>(b));
+      keys.push_back(s);
+    }
+  }
+  for (const std::string& a : keys) {
+    for (const std::string& b : keys) {
+      EXPECT_EQ(encode_bytes16(a) < encode_bytes16(b), a < b)
+          << "a.size=" << a.size() << " b.size=" << b.size();
+    }
+  }
+}
+
+TEST(KeyCodecTest, EncodingsFitTheBytes16Universe) {
+  // Every encoding must be a valid Bytes16Traits key: strictly below the
+  // trie's max_key so ikey = key + 1 never wraps into the tail sentinel.
+  const u128 top = encode_bytes16(std::string(15, '\xff'));
+  EXPECT_TRUE(top < Bytes16Traits::ikey_max() - u128(2));
+  // The length byte occupies bits the payload never touches: a max-length
+  // string's encoding has low byte 15.
+  EXPECT_EQ(u128_lo(top) & 0xffull, 15u);
+}
+
+TEST(KeyCodecTest, Ipv6RoundTripAndOrder) {
+  uint8_t a[16] = {0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0,
+                   0,    0,    0,    0,    0, 0, 0, 1};
+  uint8_t b[16] = {0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0,
+                   0,    0,    0,    0,    0, 0, 0, 2};
+  const u128 ea = encode_ipv6(a);
+  const u128 eb = encode_ipv6(b);
+  EXPECT_TRUE(ea < eb);
+
+  uint8_t out[16];
+  decode_ipv6(ea, out);
+  EXPECT_EQ(std::memcmp(out, a, 16), 0);
+
+  // Byte position dominance: differing at byte 0 outweighs every later byte.
+  uint8_t c[16] = {0x20, 0x02, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(eb < encode_ipv6(c));
+}
+
+TEST(KeyCodecTest, Ipv4MappedOrderAndDetection) {
+  const u128 lo = encode_ipv4_mapped(0x0a000001u);   // 10.0.0.1
+  const u128 hi = encode_ipv4_mapped(0xc0a80101u);   // 192.168.1.1
+  EXPECT_TRUE(lo < hi);
+  EXPECT_TRUE(is_ipv4_mapped(lo));
+  EXPECT_TRUE(is_ipv4_mapped(hi));
+
+  // A native v6 address is not v4-mapped, and v4-mapped space sits below
+  // the 2000::/3 global unicast block.
+  uint8_t g[16] = {0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0,
+                   0,    0,    0,    0,    0, 0, 0, 1};
+  const u128 eg = encode_ipv6(g);
+  EXPECT_FALSE(is_ipv4_mapped(eg));
+  EXPECT_TRUE(hi < eg);
+
+  // The mapped form equals the hand-built RFC 4291 byte layout.
+  uint8_t m[16] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 10, 0, 0, 1};
+  EXPECT_TRUE(encode_ipv6(m) == lo);
+}
+
+}  // namespace
+}  // namespace skiptrie

@@ -34,7 +34,7 @@ fi
 status=0
 for ref in $refs; do
   # §3.5(3) must resolve to item "(3)" under section 3.5; §3.3 to a "## 3.3"
-  # (or deeper) heading; bare §3 to a "## 3" heading.
+  # (or deeper) heading; bare §3 to a "## 3" or "## 3." heading.
   section=${ref#§}
   item=
   case $section in
@@ -43,7 +43,7 @@ for ref in $refs; do
       section=${section%%(*}
       ;;
   esac
-  if ! grep -qE "^#+ +(§ *)?${section}([^0-9.]|\$)" "$design"; then
+  if ! grep -qE "^#+ +(§ *)?${section}(\.?[^0-9.]|\.?$)" "$design"; then
     echo "check_design_refs: cited section §${section} missing from $design" >&2
     status=1
     continue

@@ -2,9 +2,10 @@
 """Diff two BENCH_suite.json files on step counts and probe counters.
 
 Joins the "cells" arrays on (section, structure, universe_bits, threads,
-mix, dist, batch_size, shards, repeat) — the stable key documented in
-README "Benchmarks"; batch_size and shards default to 1 for files that
-predate them — and reports, per matched cell, the relative change in:
+mix, dist, batch_size, shards, key_kind, repeat) — the stable key
+documented in README "Benchmarks"; batch_size and shards default to 1 and
+key_kind to "u64" for files that predate them — and reports, per matched
+cell, the relative change in:
 
   - steps_per_op.search and steps_per_op.total
   - per-op rates of the probe counters (hash_probes, probes_lookup,
@@ -20,7 +21,7 @@ Designed to run as a non-fatal CI report step:
 
     tools/compare_bench.py BENCH_suite.json build/BENCH_suite_quick.json
 
-Schema: accepts v1 through v5 files; counters missing from an older file
+Schema: accepts v1 through v6 files; counters missing from an older file
 are skipped (reported as "new"), never treated as zero.
 
 `--self-test` runs the built-in join unit test (no input files needed);
@@ -32,12 +33,13 @@ import json
 import sys
 
 JOIN_KEY = ("section", "structure", "universe_bits", "threads", "mix",
-            "dist", "batch_size", "shards", "repeat")
+            "dist", "batch_size", "shards", "key_kind", "repeat")
 
 # Per-key defaults applied when a file predates an axis, so older suites
-# still join cleanly (batch_size was introduced in schema v4, shards in v5;
-# every earlier cell was implicitly unbatched and unsharded).
-JOIN_DEFAULTS = {"batch_size": 1, "shards": 1}
+# still join cleanly (batch_size was introduced in schema v4, shards in v5,
+# key_kind in v6; every earlier cell was implicitly unbatched, unsharded
+# and u64-keyed).
+JOIN_DEFAULTS = {"batch_size": 1, "shards": 1, "key_kind": "u64"}
 
 # Note: the finger counters (finger_hits/misses, hops_finger_saved) are
 # intentionally absent — a hit-rate shift is not by itself a regression;
@@ -69,7 +71,9 @@ def load_cells(path):
 
 def self_test():
     """Unit test of the cross-version join: a pre-v5 cell (no `shards` key)
-    must land on the v5 cell with shards == 1 and on nothing else."""
+    must land on the v5 cell with shards == 1 and on nothing else; a pre-v6
+    cell (no `key_kind`) must land on the v6 cell with key_kind == "u64" and
+    never on a bytes16 cell."""
     def cell(**kw):
         c = {"section": "grid", "structure": "skiptrie", "universe_bits": 32,
              "threads": 1, "mix": "balanced", "dist": "uniform", "repeat": 0,
@@ -113,8 +117,25 @@ def self_test():
     assert mb["steps_per_op.search"] == 5.0
     assert abs(mc["steps_per_op.search"] - 5.5) < 1e-9
     assert "steps.node_hops/op" in mb and "steps.node_hops/op" in mc
-    print("compare_bench --self-test: ok (join v4->v5, shards default, "
-          "--max-shards filter)")
+
+    # v5 -> v6: the key_kind axis.  A v5 cell (no key_kind) joins the v6
+    # u64 cell; the bytes16 twin of the same cell must stay unmatched.
+    v6 = {"schema_version": 6, "cells": [
+        cell(batch_size=1, shards=1, key_kind="u64"),
+        cell(batch_size=1, shards=1, key_kind="bytes16",
+             section="bytes16"),
+        cell(batch_size=1, shards=1, key_kind="bytes16"),  # same axes, wide
+    ]}
+    cand6 = cells_of(v6)
+    shared6 = set(cells_of(v5)) & set(cand6)
+    ki = JOIN_KEY.index("key_kind")
+    assert len(shared6) == 1 and next(iter(shared6))[ki] == "u64", \
+        "a pre-v6 cell must join exactly the key_kind='u64' v6 cell"
+    # --key-kind filtering keeps only the named instantiation.
+    kept6 = [k for k in cand6 if k[ki] == "u64"]
+    assert len(kept6) == 1, "--key-kind u64 must drop both bytes16 cells"
+    print("compare_bench --self-test: ok (join v4->v5->v6, shards/key_kind "
+          "defaults, --max-shards/--key-kind filters)")
     return 0
 
 
@@ -164,6 +185,11 @@ def main():
                     help="only compare cells with shards <= N (multi-shard "
                          "service cells interleave across workers; the "
                          "shards=1 cells are the deterministic ones)")
+    ap.add_argument("--key-kind", default=None,
+                    help="only compare cells with this key_kind (e.g. "
+                         "'u64': the gated fast path whose step counts are "
+                         "pinned; 'bytes16' cells stay report-only until "
+                         "their variance is characterized)")
     ap.add_argument("--top", type=int, default=20,
                     help="show at most N worst regressions / best "
                          "improvements (default 20)")
@@ -186,6 +212,9 @@ def main():
         si = JOIN_KEY.index("shards")
         shared = [k for k in shared
                   if k[si] is not None and k[si] <= args.max_shards]
+    if args.key_kind is not None:
+        ki = JOIN_KEY.index("key_kind")
+        shared = [k for k in shared if k[ki] == args.key_kind]
     if not shared:
         print("compare_bench: no joinable cells between %s and %s "
               "(different axes?)" % (args.baseline, args.candidate))

@@ -29,6 +29,13 @@
 //                     space).  Matched cells differ only in `key_kind`, so
 //                     the step delta is the measured cost of W-widening —
 //                     the log log u story's other direction.
+//   leaf_ablation     leaf-chunk hint index on/off (DESIGN.md §7): matched
+//                     single-threaded skiptrie cells — same seed, same
+//                     stream — at 32 universe bits over {read_heavy,
+//                     lookup_only} x {uniform, zipf}, differing only in
+//                     `leaf_chunking`.  The acceptance read is the
+//                     bytes_touched/op ratio off/on (target >= 1.3x) with
+//                     hops_descent/op lower on the chunked side.
 //   service           the queued Service front-end (DESIGN.md §4.3) under
 //                     the client simulator (hot-tenant zipf, bursty
 //                     arrivals): --shards x client counts; steps merge the
@@ -123,6 +130,18 @@ struct Bytes16Point {
   double ratio() const {
     return u64_steps > 0.0 ? bytes16_steps / u64_steps : 0.0;
   }
+};
+
+struct LeafPoint {
+  std::string mix;
+  std::string dist;
+  double bytes_on = 0.0;        // bytes_touched / op, chunking on
+  double bytes_off = 0.0;       // bytes_touched / op, chunking off
+  double hops_descent_on = 0.0; // hops_descent / op, chunking on
+  double hops_descent_off = 0.0;
+  double chunk_scans_on = 0.0;  // chunk_scans / op, chunking on
+  double final_occupancy = 0.0; // from the on-cell's leaf checkpoints
+  double ratio() const { return bytes_on > 0.0 ? bytes_off / bytes_on : 0.0; }
 };
 
 struct ServicePoint {
@@ -619,7 +638,70 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Section 5: service front-end ----------------------------------------
+  // --- Section 5: leaf-chunk ablation --------------------------------------
+  // Matched single-threaded pairs: the cell seed ignores leaf_chunking, so
+  // the on and off cells run the identical (key, op) stream against the
+  // identical logical set — the level-0 list is authoritative either way
+  // (DESIGN.md §7) — and the bytes_touched/op delta is pure leaf-layer
+  // cache-traffic reduction.
+  std::vector<LeafPoint> leaf_pts;
+  {
+    const std::vector<std::string> leaf_mix_names = {"read_heavy",
+                                                     "lookup_only"};
+    const std::vector<KeyDist> leaf_dists = {KeyDist::kUniform,
+                                             KeyDist::kZipf};
+    const uint32_t leaf_bits = 32;
+    for (size_t mi = 0; mi < leaf_mix_names.size(); ++mi) {
+      const NamedMix* nm = nullptr;
+      for (const NamedMix& m : all_mixes()) {
+        if (leaf_mix_names[mi] == m.name) nm = &m;
+      }
+      if (nm == nullptr) continue;  // unreachable: fixed registry names
+      for (size_t di = 0; di < leaf_dists.size(); ++di) {
+        LeafPoint pt;
+        pt.mix = nm->name;
+        pt.dist = key_dist_name(leaf_dists[di]);
+        for (const bool chunking : {true, false}) {
+          CellSpec spec;
+          spec.section = "leaf_ablation";
+          spec.structure = "skiptrie";
+          spec.mix_name = nm->name;
+          spec.universe_bits = leaf_bits;
+          spec.leaf_chunking = chunking;
+          spec.wc.threads = 1;
+          spec.wc.ops_per_thread = grid_ops;
+          spec.wc.mix = nm->mix;
+          spec.wc.dist = leaf_dists[di];
+          spec.wc.key_space = bench_key_space(leaf_bits);
+          spec.wc.prefill =
+              std::min<uint64_t>(grid_prefill, spec.wc.key_space / 2);
+          // Identical for on and off: same keys, same heights, same set.
+          spec.wc.seed = cell_seed(leaf_bits, 1, mi + 192, di, 0, 0);
+          spec.wc.latency_sample_every = latency_every;
+          const CellResult res = run_cell(spec);
+          write_cell(j, spec, res);
+          const double ops =
+              res.r.total_ops ? static_cast<double>(res.r.total_ops) : 1.0;
+          if (chunking) {
+            pt.bytes_on = static_cast<double>(res.r.steps.bytes_touched) / ops;
+            pt.hops_descent_on =
+                static_cast<double>(res.r.steps.hops_descent) / ops;
+            pt.chunk_scans_on =
+                static_cast<double>(res.r.steps.chunk_scans) / ops;
+            pt.final_occupancy = res.r.leaf.final_occupancy;
+          } else {
+            pt.bytes_off = static_cast<double>(res.r.steps.bytes_touched) / ops;
+            pt.hops_descent_off =
+                static_cast<double>(res.r.steps.hops_descent) / ops;
+          }
+          progress("leaf_ablation");
+        }
+        leaf_pts.push_back(pt);
+      }
+    }
+  }
+
+  // --- Section 6: service front-end ----------------------------------------
   // The client simulator against a live Service: per-shard queues + workers,
   // hot-tenant zipf traffic, bursty arrivals.  Each cell builds a fresh
   // Service (its workers die with it), runs the simulator, stops the
@@ -705,6 +787,26 @@ int main(int argc, char** argv) {
   }
   j.end_array();
 
+  // Leaf digest: the chunking acceptance read — modeled cache-line bytes per
+  // op with the hint index off vs on (ratio >= 1.3x is the v7 target), plus
+  // the descent-hop reduction and in-chunk scan rate behind it.
+  j.key("leaf_summary").begin_array();
+  for (const LeafPoint& pt : leaf_pts) {
+    j.begin_object();
+    j.kv("structure", "skiptrie");
+    j.kv("mix", pt.mix);
+    j.kv("dist", pt.dist);
+    j.kv("bytes_per_op_on", pt.bytes_on);
+    j.kv("bytes_per_op_off", pt.bytes_off);
+    j.kv("bytes_ratio_off_over_on", pt.ratio());
+    j.kv("hops_descent_per_op_on", pt.hops_descent_on);
+    j.kv("hops_descent_per_op_off", pt.hops_descent_off);
+    j.kv("chunk_scans_per_op", pt.chunk_scans_on);
+    j.kv("final_occupancy", pt.final_occupancy);
+    j.end_object();
+  }
+  j.end_array();
+
   // Service digest: throughput and queueing pressure by (shards, clients).
   j.key("service_summary").begin_array();
   for (const ServicePoint& pt : service_pts) {
@@ -751,6 +853,17 @@ int main(int argc, char** argv) {
     for (const Bytes16Point& pt : bytes16_pts) {
       std::printf("%-12s %-8u %-10.1f %-10.1f %-8.2f\n", pt.mix.c_str(),
                   pt.threads, pt.u64_steps, pt.bytes16_steps, pt.ratio());
+    }
+  }
+  if (!leaf_pts.empty()) {
+    header("bench_suite: leaf chunking (modeled bytes/op, off vs on)");
+    std::printf("%-12s %-10s %-10s %-10s %-8s %-10s %-10s\n", "mix", "dist",
+                "bytes_on", "bytes_off", "ratio", "hd_on", "hd_off");
+    row_sep(76);
+    for (const LeafPoint& pt : leaf_pts) {
+      std::printf("%-12s %-10s %-10.1f %-10.1f %-8.2f %-10.2f %-10.2f\n",
+                  pt.mix.c_str(), pt.dist.c_str(), pt.bytes_on, pt.bytes_off,
+                  pt.ratio(), pt.hops_descent_on, pt.hops_descent_off);
     }
   }
   if (!service_pts.empty()) {

@@ -197,6 +197,9 @@ struct CellSpec {
   // BasicSkipTrie<Bytes16Traits> via an order-preserving spread into the
   // 120-bit encoded space, so the cell delta is pure W-widening cost.
   std::string key_kind = "u64";
+  // Leaf-chunk hint index on/off (v7 axis, DESIGN.md §7).  Default on — the
+  // shipped Config default; older files join as leaf_chunking = true.
+  bool leaf_chunking = true;
   uint32_t repeat = 0;            // repeat index within identical specs
   WorkloadConfig wc;
 };
@@ -225,11 +228,13 @@ class Bytes16WorkloadAdapter {
   static constexpr uint32_t kSpread = 56;
   static constexpr uint32_t kUniverseBits = 64 + kSpread;
 
-  Bytes16WorkloadAdapter() : trie_([] {
-    Config c;
-    c.universe_bits = kUniverseBits;
-    return c;
-  }()) {}
+  explicit Bytes16WorkloadAdapter(bool leaf_chunking = true)
+      : trie_([leaf_chunking] {
+          Config c;
+          c.universe_bits = kUniverseBits;
+          c.leaf_chunking = leaf_chunking;
+          return c;
+        }()) {}
 
   bool insert(uint64_t k) { return trie_.insert(wide(k)); }
   bool erase(uint64_t k) { return trie_.erase(wide(k)); }
@@ -250,7 +255,7 @@ class Bytes16WorkloadAdapter {
 inline CellResult run_cell(const CellSpec& spec) {
   CellResult res;
   if (spec.structure == "skiptrie" && spec.key_kind == "bytes16") {
-    Bytes16WorkloadAdapter a;
+    Bytes16WorkloadAdapter a(spec.leaf_chunking);
     res.r = run_workload(a, spec.wc);
     // The wide trie's StructureStats is a distinct nested type (deeper
     // level_counts); copy the scalar fields the emitter reports.
@@ -265,10 +270,13 @@ inline CellResult run_cell(const CellSpec& spec) {
     res.stats.hash_buckets = st.hash_buckets;
     res.stats.hash_dummies = st.hash_dummies;
     res.stats.hash_load_factor = st.hash_load_factor;
+    res.stats.leaf_chunks = st.leaf_chunks;
+    res.stats.avg_occupancy = st.avg_occupancy;
     res.has_structure_stats = true;
   } else if (spec.structure == "skiptrie") {
     Config cfg;
     cfg.universe_bits = spec.universe_bits;
+    cfg.leaf_chunking = spec.leaf_chunking;
     SkipTrie t(cfg);
     res.r = run_workload(t, spec.wc);
     res.stats = t.structure_stats();  // quiescent: workers joined
@@ -276,6 +284,7 @@ inline CellResult run_cell(const CellSpec& spec) {
   } else if (spec.structure == "sharded") {
     Config cfg;
     cfg.universe_bits = spec.universe_bits;
+    cfg.leaf_chunking = spec.leaf_chunking;
     ShardedEngine e(spec.shards, cfg);
     res.r = run_workload(e, spec.wc);
     res.stats = e.structure_stats();  // aggregated across shards
@@ -355,9 +364,20 @@ inline std::string git_rev(const Args& args) {
 //       streams through BasicSkipTrie<Bytes16Traits> (128-bit ikeys) so the
 //       u64-vs-bytes16 cell delta isolates W-widening cost.  Purely
 //       additive again.
+//   v7  cache-conscious leaf chunks (PR 8, DESIGN.md §7): cells gain the
+//       `leaf_chunking` axis (default true — older files join as
+//       leaf_chunking = true and lack the new counters entirely, so
+//       pre-v7 joins treat them as report-only) and
+//       steps.{bytes_touched, chunk_scans, chunk_splits, chunk_merges}
+//       (DESIGN.md §7.4; bytes_touched models list+leaf cache-line traffic,
+//       all four are event counters outside search/total steps);
+//       structure_stats gains {leaf_chunks, avg_occupancy}; cells gain a
+//       `leaf_checkpoints` object (25/50/75% mid-run samples + final) and a
+//       new "leaf_ablation" section sweeps chunking on/off.  Purely
+//       additive again.
 inline void write_suite_header(JsonWriter& j, const char* suite,
                                const std::string& rev, bool quick) {
-  j.kv("schema_version", 6);
+  j.kv("schema_version", 7);
   j.kv("suite", suite);
   j.kv("git_rev", rev);
   j.kv("timestamp_utc", iso8601_utc_now());
@@ -408,6 +428,10 @@ inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
   j.kv("walk_fallbacks", s.walk_fallbacks);
   j.kv("trie_level_ops", s.trie_level_ops);
   j.kv("retired_nodes", s.retired_nodes);
+  j.kv("bytes_touched", s.bytes_touched);
+  j.kv("chunk_scans", s.chunk_scans);
+  j.kv("chunk_splits", s.chunk_splits);
+  j.kv("chunk_merges", s.chunk_merges);
   j.kv("cursor_reuses", s.cursor_reuses);
   j.kv("cursor_redescends", s.cursor_redescends);
   j.kv("batch_ops", s.batch_ops);
@@ -423,7 +447,7 @@ inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
 
 // One record per measured cell; keys stable across suites so files from two
 // revisions can be joined on (section, structure, universe_bits, threads,
-// mix, dist, batch_size, shards, key_kind, repeat).
+// mix, dist, batch_size, shards, key_kind, leaf_chunking, repeat).
 inline void write_cell(JsonWriter& j, const CellSpec& spec,
                        const CellResult& res) {
   const WorkloadResult& r = res.r;
@@ -437,6 +461,7 @@ inline void write_cell(JsonWriter& j, const CellSpec& spec,
   j.kv("batch_size", spec.wc.batch_size);
   j.kv("shards", spec.shards);
   j.kv("key_kind", spec.key_kind);
+  j.kv("leaf_chunking", spec.leaf_chunking);
   j.kv("key_space", spec.wc.key_space);
   j.kv("prefill", spec.wc.prefill);
   j.kv("seed", spec.wc.seed);
@@ -482,6 +507,19 @@ inline void write_cell(JsonWriter& j, const CellSpec& spec,
     j.kv("hash_buckets", static_cast<uint64_t>(st.hash_buckets));
     j.kv("hash_dummies", static_cast<uint64_t>(st.hash_dummies));
     j.kv("hash_load_factor", st.hash_load_factor);
+    j.kv("leaf_chunks", static_cast<uint64_t>(st.leaf_chunks));
+    j.kv("avg_occupancy", st.avg_occupancy);
+    j.end_object();
+  }
+  if (r.leaf.samples > 0) {
+    j.key("leaf_checkpoints").begin_object();
+    j.kv("samples", r.leaf.samples);
+    j.kv("min_chunks", r.leaf.min_chunks);
+    j.kv("max_chunks", r.leaf.max_chunks);
+    j.kv("final_chunks", r.leaf.final_chunks);
+    j.kv("min_occupancy", r.leaf.min_occupancy);
+    j.kv("max_occupancy", r.leaf.max_occupancy);
+    j.kv("final_occupancy", r.leaf.final_occupancy);
     j.end_object();
   }
   if (spec.structure == "skiplist") {

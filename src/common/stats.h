@@ -52,6 +52,19 @@ struct StepCounters {
                                  // discarded its start hint for the top head
   uint64_t trie_level_ops = 0;   // x-fast-trie per-level update iterations
   uint64_t retired_nodes = 0;    // nodes handed to reclamation
+  // Leaf-chunk attribution (schema v7, DESIGN.md §7.4).  bytes_touched is a
+  // cache-line traffic model of the *list + leaf* layers: kCacheLine per
+  // node hop / guide-pointer follow plus the lines a chunk scan actually
+  // reads (hash-layer traffic is already a line count — hash_probes — and
+  // is kept separate so the leaf-chunking delta stays directly readable).
+  // Event/attribution counters: none of these enter search_steps()/
+  // total_steps().
+  uint64_t bytes_touched = 0;    // modeled cache-line bytes read by list/leaf
+                                 // traversal (64 per hop/back/prev step plus
+                                 // actual lines per chunk scan)
+  uint64_t chunk_scans = 0;      // leaf-chunk in-array searches performed
+  uint64_t chunk_splits = 0;     // leaf chunks split (full chunk, median cut)
+  uint64_t chunk_merges = 0;     // leaf chunks drained and unlinked
   // Batched-operation attribution (schema v4, DESIGN.md §5.3).  Like the
   // probe/hop attribution these count events, not shared-memory steps, and
   // do NOT enter search_steps()/total_steps().
@@ -91,6 +104,21 @@ struct StepCounters {
   uint64_t total_steps() const {
     return search_steps() + hash_updates + cas_attempts + dcss_attempts +
            trie_level_ops;
+  }
+};
+
+// Cheap, always-current leaf-chunk totals (schema v7, DESIGN.md §7.4).
+// Read from the chunk manager's atomic counters, so any thread may sample
+// them mid-run — unlike structure_stats(), which walks the structure and is
+// only meaningful at quiescence.  All zero when leaf chunking is off.
+struct LeafLiveStats {
+  uint64_t chunks = 0;    // live leaf chunks
+  uint64_t keys = 0;      // keys currently indexed by those chunks
+  uint32_t capacity = 0;  // key slots per chunk (traits-dependent)
+
+  double avg_occupancy() const {
+    const uint64_t slots = chunks * capacity;
+    return slots == 0 ? 0.0 : static_cast<double>(keys) / slots;
   }
 };
 

@@ -38,6 +38,17 @@ struct Config {
   // identical either way).
   bool use_cursor_batching = true;
 
+  // Cache-conscious leaf chunks (DESIGN.md §7): read descents terminate in a
+  // sorted multi-key mini-array over level 0 instead of walking the low
+  // levels node by node.  Off reproduces the seed layout and step counts
+  // exactly (ablation; step_pinning_test pins its goldens with this off).
+  // The compile-time default lets CI build a chunking-off matrix leg.
+#ifdef SKIPTRIE_LEAF_CHUNKING_DEFAULT
+  bool leaf_chunking = SKIPTRIE_LEAF_CHUNKING_DEFAULT;
+#else
+  bool leaf_chunking = true;
+#endif
+
   // Slab granularity of the node arena.
   size_t arena_blocks_per_slab = 4096;
 };

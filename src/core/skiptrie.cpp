@@ -29,6 +29,7 @@ BasicSkipTrie<Traits>::BasicSkipTrie(const Config& cfg)
       trie_(ctx_, engine_, cfg.universe_bits, cfg.max_hash_buckets) {
   assert(cfg.universe_bits >= 4 && cfg.universe_bits <= Traits::kMaxBits);
   engine_.set_finger_enabled(cfg.use_finger);
+  engine_.enable_leaf_chunking(cfg.leaf_chunking);
 }
 
 template <typename Traits>
@@ -193,6 +194,22 @@ auto BasicSkipTrie<Traits>::structure_stats() const -> StructureStats {
   s.hash_buckets = trie_.map().bucket_count();
   s.hash_dummies = trie_.map().dummy_count();
   s.hash_load_factor = trie_.map().load_factor();
+  if (const auto* cm = engine_.leaf_chunks(); cm != nullptr) {
+    // Walk the chunk list (quiescent, like the rest of this function) for
+    // the structural view; occupancy uses the same definition as
+    // LeafLiveStats but over the walked chunks.
+    size_t chunks = 0, indexed = 0;
+    cm->for_each_chunk([&](const auto& ch) {
+      ++chunks;
+      indexed += ch.count();
+    });
+    s.leaf_chunks = chunks;
+    const size_t slots =
+        chunks * LeafChunkManager<Traits>::Chunk::kKeys;
+    s.avg_occupancy =
+        slots > 0 ? static_cast<double>(indexed) / static_cast<double>(slots)
+                  : 0.0;
+  }
 
   // Gap statistics: number of level-0 keys strictly between consecutive
   // top-level nodes (the paper's "bucket" size, expected O(log u)).

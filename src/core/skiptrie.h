@@ -170,9 +170,18 @@ class BasicSkipTrie {
     size_t hash_buckets = 0;      // split-ordered directory size
     size_t hash_dummies = 0;      // bucket dummy nodes spliced into the list
     double hash_load_factor = 0;  // trie_entries / hash_buckets (target <= 2)
+    size_t leaf_chunks = 0;       // live leaf chunks (0 when chunking off)
+    double avg_occupancy = 0;     // mean keys-per-chunk / capacity
   };
   // Quiescent-only walk of the structure.
   StructureStats structure_stats() const;
+
+  // Cheap atomic leaf-chunk totals, safe to sample mid-run from any thread
+  // (DESIGN.md §7.4; all-zero when Config::leaf_chunking is off).
+  LeafLiveStats leaf_live_stats() const {
+    const auto* cm = engine_.leaf_chunks();
+    return cm != nullptr ? cm->live_stats() : LeafLiveStats{};
+  }
 
   // Internal components, exposed for white-box tests and benchmarks.
   Engine& engine() { return engine_; }

@@ -148,6 +148,19 @@ class BasicShardedEngine {
   // from the summed numerators/denominators.
   typename Trie::StructureStats structure_stats() const;
 
+  // Mid-run-safe leaf-chunk totals: sum of the per-shard atomic counters
+  // (DESIGN.md §7.4).  Capacity is traits-uniform across shards.
+  LeafLiveStats leaf_live_stats() const {
+    LeafLiveStats agg;
+    for (const auto& sp : shards_) {
+      const LeafLiveStats s = sp->leaf_live_stats();
+      agg.chunks += s.chunks;
+      agg.keys += s.keys;
+      if (s.capacity != 0) agg.capacity = s.capacity;
+    }
+    return agg;
+  }
+
  private:
   Config cfg_;                  // the caller's config (full universe)
   uint32_t shard_bits_ = 0;     // log2(shard count)

@@ -22,7 +22,9 @@ constexpr uint64_t kTopEntryMaxGaps = 8;
 
 template <typename Traits>
 auto BasicDescentCursor<Traits>::seek(Ikey x, uint32_t cold_min_level,
-                                      StartFn fallback, void* env) -> Bracket {
+                                      StartFn fallback, void* env,
+                                      uint32_t stop_level,
+                                      uint32_t* stopped_at) -> Bracket {
   Engine& e = *eng_;
   const uint32_t top = e.top_level();
   auto& c = tls_counters();
@@ -45,20 +47,25 @@ auto BasicDescentCursor<Traits>::seek(Ikey x, uint32_t cold_min_level,
     if (n->ikey() != left_ikey_[l]) return false;
     return !is_marked(dcss_read(n->next));
   };
-  // Run the descent from (start, lvl).  A cold seek head-fills only the
-  // rows above its entry (the descent writes the rest), and any entry at
-  // the top makes every row real.
+  // Run the descent from (start, lvl).  A cold seek head-fills every row
+  // the descent will not write — above the entry as before, and (when a
+  // stop_level keeps the descent from reaching 0) the rows below the floor
+  // too, so no row is ever left holding garbage a later warm screen would
+  // dereference.  Any entry at the top makes every row real.
   const auto enter = [&](Node_t* start, uint32_t lvl,
                          BasicSearchFinger<Traits>* f, uint64_t epoch) {
+    const uint32_t floor = lvl < stop_level ? lvl : stop_level;
+    if (stopped_at != nullptr) *stopped_at = floor;
     if (lvl == top) rows_real_ = true;
     if (!was_warm) {
-      for (uint32_t l = lvl + 1; l <= top; ++l) {
+      for (uint32_t l = 0; l <= top; ++l) {
+        if (l >= floor && l <= lvl) continue;  // the descent writes these
         left_[l] = e.head_[l];
         left_ikey_[l] = Ikey(0);
         right_ikey_[l] = Ikey(0);
       }
     }
-    return e.descend_from(x, start, lvl, left_, f, epoch, this);
+    return e.descend_from(x, start, lvl, left_, f, epoch, this, floor);
   };
 
   // Reuse candidate: the lowest retained row (at or above eff_min) whose

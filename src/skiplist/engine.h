@@ -26,12 +26,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/key_traits.h"
 #include "dcss/dcss.h"
 #include "reclaim/arena.h"
 #include "skiplist/finger.h"
+#include "skiplist/leaf.h"
 #include "skiplist/node.h"
 
 namespace skiptrie {
@@ -156,6 +158,17 @@ class BasicSkipListEngine {
   void set_finger_enabled(bool on) { finger_on_ = on; }
   bool finger_enabled() const { return finger_on_; }
 
+  // Leaf chunking (DESIGN.md §7): read descents stop log2(K) levels above
+  // level 0 and finish through a chunk scan + validating list_search; writers
+  // maintain the chunk index post-linearization.  Off (the seed layout)
+  // reproduces per-level step counts exactly.  Like set_finger_enabled, not
+  // thread-safe against concurrent operations — configure before sharing.
+  void enable_leaf_chunking(bool on);
+  bool leaf_chunking_enabled() const { return chunks_ != nullptr; }
+  // The chunk manager, nullptr when chunking is off (structure_stats,
+  // validation, tests).
+  LeafChunkManager<Traits>* leaf_chunks() const { return chunks_.get(); }
+
   // Algorithm 1.  Installs node.prev via DCSS guarded on the predecessor
   // remaining unmarked and adjacent; sets node.ready on exit.
   void fix_prev(Node_t* hint, Node_t* node);
@@ -205,7 +218,14 @@ class BasicSkipListEngine {
   // into the cursor's rows (when rec != nullptr; hints is then rec's own
   // left array).
   Bracket descend_from(Ikey x, Node_t* cur, uint32_t lvl, Node_t** hints,
-                       Finger* f, uint64_t epoch, Cursor* rec = nullptr);
+                       Finger* f, uint64_t epoch, Cursor* rec = nullptr,
+                       uint32_t floor = 0);
+  // Chunk-terminated read descent (DESIGN.md §7.2): the body behind
+  // cursor_descend/fingered_descend when chunking is on.  Resolves a level-0
+  // start hint through (in order) the cursor's retained chunk id, the
+  // finger's chunk rows, or a descent stopped at chunk_entry_, then finishes
+  // with a validating list_search from the hinted node.
+  Bracket chunked_read(Cursor& cur, Ikey x, StartFn fallback, void* env);
   // Post-descent bodies shared by the plain and fingered entry points.
   InsertResult insert_from(Ikey x, uint32_t height, Node_t** hints,
                            Bracket b);
@@ -225,6 +245,10 @@ class BasicSkipListEngine {
   DcssContext ctx_;
   SlabArena& arena_;
   const uint32_t top_;
+  std::unique_ptr<LeafChunkManager<Traits>> chunks_;  // null = chunking off
+  // Level a chunk-terminated read may stop descending at: one chunk indexes
+  // ~K keys, the span of ~log2(K) skiplist levels.
+  uint32_t chunk_entry_ = 0;
   const uint64_t finger_owner_ = new_finger_owner();
   bool finger_on_ = true;
   Node_t* head_[kMaxLevels + 1];

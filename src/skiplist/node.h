@@ -21,9 +21,15 @@
 //          "(right.prev, right.marked)" as one word.
 //   stopw  root only: set to 1 by the delete operation that claims the
 //          tower; tower raising is DCSS-guarded on stopw == 0 (paper §2).
-//   ready  top-level only: set once fixPrev has installed the prev pointer.
-//   meta   packed {level, orig_height, kind}; written before publication and
-//          at poison time, hence atomic with relaxed access.
+//   chunkw root only: 1 + the id of the leaf chunk this key was last indexed
+//          under (0 = none; DESIGN.md §7.2).  Pure hint — chunk lookups
+//          validate the id against the chunk table before use, so a stale or
+//          recycled value costs steps, never correctness.
+//   meta   packed {level, orig_height, kind, ready}; level/height/kind are
+//          written before publication and at poison time; the ready bit
+//          (top-level only: fixPrev has installed the prev pointer) is set
+//          once via fetch_or.  Atomic with relaxed access for the packed
+//          fields, acquire for ready.
 //
 // Every field that a stale guide pointer could cause another thread to read
 // concurrently with poisoning is an atomic; accesses that merely validate
@@ -95,8 +101,11 @@ struct alignas(kCacheLine) NodeT {
   std::atomic<NodeT*> root_{nullptr};
   std::atomic<uint64_t> prevw{0};
   std::atomic<uint64_t> stopw{0};
-  std::atomic<uint32_t> ready{0};
+  std::atomic<uint32_t> chunkw{0};
   std::atomic<uint32_t> meta{0};  // level | orig_height<<8 | kind<<16
+                                  //       | ready<<24
+
+  static constexpr uint32_t kReadyBit = 1u << 24;
 
   Ikey ikey() const { return ikey_.load(std::memory_order_relaxed); }
   NodeT* down() const { return down_.load(std::memory_order_relaxed); }
@@ -111,6 +120,10 @@ struct alignas(kCacheLine) NodeT {
     return static_cast<NodeKind>(
         (meta.load(std::memory_order_relaxed) >> 16) & 0xffu);
   }
+  bool ready() const {
+    return (meta.load(std::memory_order_acquire) & kReadyBit) != 0;
+  }
+  void set_ready() { meta.fetch_or(kReadyBit, std::memory_order_release); }
 
   void init(Ikey ikey, uint32_t level, uint32_t orig_height, NodeKind kind,
             NodeT* down, NodeT* root) {
@@ -121,7 +134,7 @@ struct alignas(kCacheLine) NodeT {
     root_.store(root, std::memory_order_relaxed);
     prevw.store(0, std::memory_order_relaxed);
     stopw.store(0, std::memory_order_relaxed);
-    ready.store(0, std::memory_order_relaxed);
+    chunkw.store(0, std::memory_order_relaxed);
     meta.store(level | (orig_height << 8) |
                    (static_cast<uint32_t>(kind) << 16),
                std::memory_order_release);
@@ -138,7 +151,7 @@ struct alignas(kCacheLine) NodeT {
     next.store(kMark, std::memory_order_relaxed);
     prevw.store(kMark, std::memory_order_relaxed);
     stopw.store(1, std::memory_order_relaxed);
-    ready.store(0, std::memory_order_relaxed);
+    chunkw.store(0, std::memory_order_relaxed);
     meta.store(0xffu | (static_cast<uint32_t>(NodeKind::kPoison) << 16),
                std::memory_order_release);
   }

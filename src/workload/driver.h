@@ -95,6 +95,31 @@ struct OpTypeStats {
   }
 };
 
+// Leaf-chunk checkpoint digest (schema v7, DESIGN.md §7.4).  Worker 0
+// samples the structure's LeafLiveStats at 25/50/75% of its own op stream
+// — cheap atomic reads, so mid-run sampling is safe — and the driver takes
+// one more sample after all workers stop.  min/max range over every sample
+// taken (checkpoints + final).  `samples` is 0 when the set type exposes no
+// leaf stats; chunking-off runs sample but report all-zero values.
+struct LeafCheckpoints {
+  uint32_t samples = 0;
+  uint64_t min_chunks = 0, max_chunks = 0, final_chunks = 0;
+  double min_occupancy = 0.0, max_occupancy = 0.0, final_occupancy = 0.0;
+
+  void fold(const LeafLiveStats& s, bool is_final) {
+    const double occ = s.avg_occupancy();
+    if (samples == 0 || s.chunks < min_chunks) min_chunks = s.chunks;
+    if (samples == 0 || s.chunks > max_chunks) max_chunks = s.chunks;
+    if (samples == 0 || occ < min_occupancy) min_occupancy = occ;
+    if (samples == 0 || occ > max_occupancy) max_occupancy = occ;
+    if (is_final) {
+      final_chunks = s.chunks;
+      final_occupancy = occ;
+    }
+    ++samples;
+  }
+};
+
 struct WorkloadResult {
   double seconds = 0.0;
   uint64_t total_ops = 0;
@@ -104,6 +129,7 @@ struct WorkloadResult {
   uint64_t lookups = 0, lookup_hits = 0;
   StepCounters steps;
   OpTypeStats by_type[kOpTypeCount];
+  LeafCheckpoints leaf;
 
   const OpTypeStats& of(OpType t) const {
     return by_type[static_cast<size_t>(t)];
@@ -151,6 +177,13 @@ concept HasBatchApi = requires(Set& s, const Set& cs, const uint64_t* k,
   { cs.predecessor_batch(k, n, p) } -> std::convertible_to<size_t>;
 };
 
+// Detects the mid-run-safe leaf-chunk sampler (SkipTrie and ShardedEngine
+// expose it; the baselines do not and skip checkpointing entirely).
+template <typename Set>
+concept HasLeafStats = requires(const Set& cs) {
+  { cs.leaf_live_stats() } -> std::convertible_to<LeafLiveStats>;
+};
+
 // Runs cfg against `set`.  Set must provide bool insert(uint64_t),
 // bool erase(uint64_t), bool contains(uint64_t) const and
 // std::optional<uint64_t> predecessor(uint64_t) const; the batch API is
@@ -174,6 +207,9 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
 
   WorkloadResult result;
   std::mutex agg_mu;
+  // Mid-run leaf-chunk checkpoints (schema v7): written by worker 0 only,
+  // read by the main thread after join — no locking needed.
+  std::vector<LeafLiveStats> leaf_samples;
   SpinBarrier barrier(cfg.threads + 1);
   std::vector<std::thread> threads;
   threads.reserve(cfg.threads);
@@ -214,10 +250,24 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
         }
         return OpType::kLookup;
       };
+      // 25/50/75% checkpoints over worker 0's own stream; sampling is three
+      // relaxed atomic loads, cheap enough to take inside the timed phase.
+      [[maybe_unused]] const uint64_t cp_at[3] = {
+          cfg.ops_per_thread / 4, cfg.ops_per_thread / 2,
+          cfg.ops_per_thread / 4 * 3};
+      [[maybe_unused]] uint32_t next_cp = 0;
       barrier.arrive_and_wait();  // start together
       const Clock::time_point my_start = Clock::now();
       const StepCounters before = tls;
       for (uint64_t i = 0; i < cfg.ops_per_thread;) {
+        if constexpr (HasLeafStats<Set>) {
+          if (t == 0) {
+            while (next_cp < 3 && i >= cp_at[next_cp]) {
+              leaf_samples.push_back(set.leaf_live_stats());
+              ++next_cp;
+            }
+          }
+        }
         if constexpr (HasBatchApi<Set>) {
           if (use_batch) {
             // Draw (op, key) per key exactly as the per-key loop below
@@ -322,6 +372,10 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
   barrier.arrive_and_wait();  // wait for the op phase to finish
   for (auto& th : threads) th.join();
 
+  if constexpr (HasLeafStats<Set>) {
+    for (const LeafLiveStats& s : leaf_samples) result.leaf.fold(s, false);
+    result.leaf.fold(set.leaf_live_stats(), true);
+  }
   result.seconds =
       cfg.threads > 0 && last_end > first_start
           ? std::chrono::duration<double>(last_end - first_start).count()

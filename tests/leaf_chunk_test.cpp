@@ -1,0 +1,237 @@
+// Leaf-chunk subsystem tests (DESIGN.md §7).
+//
+// Covers the chunk layout invariants in isolation (split at the median,
+// merge into the predecessor, sorted-prefix occupancy bitmap), the
+// chunking-on/off ablation equivalence the design promises by construction
+// (§7.2: chunks are a hint index over the authoritative level-0 list, so
+// every observable result must be identical either way — checked over a
+// 50k-op mixed workload for both key-traits instantiations), and the two
+// races the maintenance protocol must survive: a split racing concurrent
+// erases of the keys being moved, and merges racing predecessor queries
+// that may be scanning the victim chunk.  Run under
+// -DSKIPTRIE_SANITIZE=address|thread; the concurrent cases are the tsan
+// targets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/key_traits.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/skiptrie.h"
+#include "core/validate.h"
+#include "skiplist/leaf.h"
+
+namespace skiptrie {
+namespace {
+
+template <typename Traits>
+class TypedLeafChunkTest : public ::testing::Test {
+ protected:
+  using Trie = BasicSkipTrie<Traits>;
+  using K = typename Traits::key_type;
+  using Chunk = LeafChunkT<Traits>;
+
+  static Config cfg(bool chunking = true) {
+    Config c;
+    c.leaf_chunking = chunking;
+    if constexpr (Traits::kMaxBits > 64) c.universe_bits = 120;
+    return c;
+  }
+
+  // Strictly monotone embedding; the wide instantiation spreads the key
+  // across both machine words so chunk ordering exercises u128 compares.
+  static K key(uint64_t k) {
+    if constexpr (Traits::kMaxBits > 64) {
+      return (K(k) << 56) | K(k);
+    } else {
+      return K(k);
+    }
+  }
+
+  // Walk the chunk list and assert every structural invariant validate.cpp
+  // checks, plus exact key membership against `expect` (quiescent callers
+  // only: chunk contents lag writers only while writers are in flight).
+  static void check_chunks_exact(const Trie& t,
+                                 const std::set<uint64_t>& expect) {
+    const auto* cm = t.engine().leaf_chunks();
+    ASSERT_NE(cm, nullptr);
+    std::set<uint64_t> indexed;
+    uint64_t chunks = 0;
+    cm->for_each_chunk([&](const Chunk& ch) {
+      ++chunks;
+      const uint64_t occ = ch.occ.load(std::memory_order_relaxed);
+      const uint32_t n = static_cast<uint32_t>(std::popcount(occ));
+      // Sorted-prefix bitmap: occupied slots are exactly 0..n-1.
+      EXPECT_EQ(occ, n == 0 ? 0 : (uint64_t(1) << n) - 1);
+      for (uint32_t i = 0; i + 1 < n; ++i) {
+        EXPECT_TRUE(ch.keys[i].load() < ch.keys[i + 1].load())
+            << "chunk " << ch.id << " slots " << i << "," << i + 1;
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(ch.keys[i].load() >= ch.base.load());
+        auto* node = ch.nodes[i].load(std::memory_order_relaxed);
+        ASSERT_NE(node, nullptr);
+        EXPECT_TRUE(node->ikey() == ch.keys[i].load());
+        indexed.insert(Traits::low_u64(ch.keys[i].load()));
+      }
+    });
+    EXPECT_EQ(chunks, t.leaf_live_stats().chunks);
+    // Quiescent completeness: every present key is indexed, nothing extra.
+    std::set<uint64_t> expect_ik;
+    for (const uint64_t k : expect)
+      expect_ik.insert(Traits::low_u64(typename Traits::ikey_type(
+          key(k) + typename Traits::ikey_type(1))));
+    EXPECT_EQ(indexed, expect_ik);
+  }
+};
+
+using LeafTraits = ::testing::Types<U64Traits, Bytes16Traits>;
+TYPED_TEST_SUITE(TypedLeafChunkTest, LeafTraits);
+
+// Enough sequential inserts split the head chunk repeatedly; every chunk
+// stays sorted with sorted-prefix occupancy and exact membership.
+TYPED_TEST(TypedLeafChunkTest, SplitKeepsOrderingAndOccupancy) {
+  using Fix = TypedLeafChunkTest<TypeParam>;
+  typename Fix::Trie t(Fix::cfg());
+  const uint64_t before = tls_counters().chunk_splits;
+  std::set<uint64_t> present;
+  for (uint64_t k = 0; k < 400; ++k) {
+    ASSERT_TRUE(t.insert(Fix::key(k * 7)));
+    present.insert(k * 7);
+  }
+  EXPECT_GT(tls_counters().chunk_splits, before);
+  EXPECT_GT(t.leaf_live_stats().chunks, 400 / Fix::Chunk::kKeys / 2);
+  Fix::check_chunks_exact(t, present);
+  EXPECT_TRUE(validate_structure(t).empty());
+}
+
+// Draining a populated structure merges chunks away; survivors keep every
+// invariant and the chunk count falls back toward one.
+TYPED_TEST(TypedLeafChunkTest, MergeDrainsIntoPredecessor) {
+  using Fix = TypedLeafChunkTest<TypeParam>;
+  typename Fix::Trie t(Fix::cfg());
+  std::set<uint64_t> present;
+  for (uint64_t k = 0; k < 400; ++k) {
+    ASSERT_TRUE(t.insert(Fix::key(k)));
+    present.insert(k);
+  }
+  const uint64_t chunks_full = t.leaf_live_stats().chunks;
+  const uint64_t before = tls_counters().chunk_merges;
+  for (uint64_t k = 0; k < 400; ++k) {
+    if (k % 16 != 0) {
+      ASSERT_TRUE(t.erase(Fix::key(k)));
+      present.erase(k);
+    }
+  }
+  EXPECT_GT(tls_counters().chunk_merges, before);
+  EXPECT_LT(t.leaf_live_stats().chunks, chunks_full);
+  Fix::check_chunks_exact(t, present);
+  EXPECT_TRUE(validate_structure(t).empty());
+}
+
+// The ablation contract (DESIGN.md §7.2): chunks are a hint index, so a
+// chunking-on and a chunking-off instance fed the same 50k-op mixed stream
+// must agree on every single result.
+TYPED_TEST(TypedLeafChunkTest, AblationEquivalenceMixedWorkload) {
+  using Fix = TypedLeafChunkTest<TypeParam>;
+  typename Fix::Trie on(Fix::cfg(true));
+  typename Fix::Trie off(Fix::cfg(false));
+  ASSERT_NE(on.engine().leaf_chunks(), nullptr);
+  ASSERT_EQ(off.engine().leaf_chunks(), nullptr);
+  Xoshiro256 rng(0x1eafc4a11eafc4a1ull);
+  constexpr uint64_t kSpace = 1u << 14;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t k = rng.next() % kSpace;
+    const auto x = Fix::key(k);
+    switch (rng.next() % 8) {
+      case 0:
+      case 1:
+        ASSERT_EQ(on.insert(x), off.insert(x)) << "op " << i;
+        break;
+      case 2:
+        ASSERT_EQ(on.erase(x), off.erase(x)) << "op " << i;
+        break;
+      case 3:
+      case 4:
+        ASSERT_EQ(on.contains(x), off.contains(x)) << "op " << i;
+        break;
+      default:
+        ASSERT_EQ(on.predecessor(x), off.predecessor(x)) << "op " << i;
+        break;
+    }
+  }
+  EXPECT_EQ(on.size(), off.size());
+  EXPECT_TRUE(validate_structure(on).empty());
+}
+
+// --- Concurrent races (the tsan targets) -----------------------------------
+
+// Splits racing erases: one thread inserts an ascending run (forcing splits
+// of the same chunks over and over) while another erases keys that may be
+// mid-move between split halves.  Afterwards the surviving set must be
+// exactly {inserted} \ {erased} and the chunk index must validate.
+TEST(LeafChunkConcurrentTest, SplitDuringErase) {
+  SkipTrie t;
+  constexpr uint64_t kKeys = 20000;
+  for (uint64_t k = 0; k < kKeys; k += 2) ASSERT_TRUE(t.insert(k));
+  std::atomic<bool> go{false};
+  std::thread inserter([&] {
+    while (!go.load(std::memory_order_acquire)) {}
+    for (uint64_t k = 1; k < kKeys; k += 2) t.insert(k);
+  });
+  std::thread eraser([&] {
+    while (!go.load(std::memory_order_acquire)) {}
+    for (uint64_t k = 0; k < kKeys; k += 4) t.erase(k);
+  });
+  go.store(true, std::memory_order_release);
+  inserter.join();
+  eraser.join();
+  EXPECT_TRUE(validate_structure(t).empty());
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const bool expect = (k % 2 == 1) || (k % 4 == 2);
+    ASSERT_EQ(t.contains(k), expect) << "key " << k;
+  }
+}
+
+// Merges racing predecessor queries: an eraser drains dense runs (forcing
+// merges that unlink chunks a reader may be scanning) while readers issue
+// predecessor queries across the draining region.  Every answer must be a
+// key that was plausibly present (never-erased keys must always be found;
+// answers are exact against the monotone erase frontier).
+TEST(LeafChunkConcurrentTest, MergeDuringPredecessor) {
+  SkipTrie t;
+  constexpr uint64_t kKeys = 20000;
+  constexpr uint64_t kKeep = 512;  // keys 0..kKeep-1 are never erased
+  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(t.insert(k));
+  std::atomic<bool> done{false};
+  std::thread eraser([&] {
+    for (uint64_t k = kKeys - 1; k >= kKeep; --k) t.erase(k);
+    done.store(true, std::memory_order_release);
+  });
+  std::thread reader([&] {
+    Xoshiro256 rng(42);
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t q = rng.next() % kKeys;
+      const auto p = t.predecessor(q);
+      ASSERT_TRUE(p.has_value());
+      ASSERT_LE(*p, q);
+      // Keys below the protected prefix are never erased, so a query there
+      // must answer exactly; above it the answer is still a real key.
+      if (q < kKeep) ASSERT_EQ(*p, q);
+    }
+  });
+  eraser.join();
+  reader.join();
+  EXPECT_TRUE(validate_structure(t).empty());
+  EXPECT_EQ(t.size(), kKeep);
+  for (uint64_t k = 0; k < kKeep; ++k) ASSERT_TRUE(t.contains(k));
+}
+
+}  // namespace
+}  // namespace skiptrie

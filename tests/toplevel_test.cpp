@@ -39,8 +39,8 @@ TEST_F(TopLevelTest, FixPrevInstallsPredecessor) {
   // insert() already ran fixPrev; b.prev must be a, a.prev must be head.
   EXPECT_EQ(unpack_ptr<Node>(b->prevw.load()), a);
   EXPECT_EQ(unpack_ptr<Node>(a->prevw.load()), eng_.head(2));
-  EXPECT_EQ(a->ready.load(), 1u);
-  EXPECT_EQ(b->ready.load(), 1u);
+  EXPECT_TRUE(a->ready());
+  EXPECT_TRUE(b->ready());
 }
 
 TEST_F(TopLevelTest, Figure2Scenario) {
@@ -152,9 +152,9 @@ TEST_F(TopLevelTest, FixPrevOnMarkedNodeGivesUpButSetsReady) {
   uint64_t w = b->next.load();
   b->back.store(a);
   ASSERT_TRUE(b->next.compare_exchange_strong(w, with_mark(w)));
-  b->ready.store(0);
+  b->meta.fetch_and(~Node::kReadyBit);
   eng_.fix_prev(a, b);  // must terminate without touching prev
-  EXPECT_EQ(b->ready.load(), 1u);
+  EXPECT_TRUE(b->ready());
 }
 
 TEST_F(TopLevelTest, WalkLeftCrossesMarkedViaBack) {

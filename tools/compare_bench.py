@@ -2,15 +2,19 @@
 """Diff two BENCH_suite.json files on step counts and probe counters.
 
 Joins the "cells" arrays on (section, structure, universe_bits, threads,
-mix, dist, batch_size, shards, key_kind, repeat) — the stable key
-documented in README "Benchmarks"; batch_size and shards default to 1 and
-key_kind to "u64" for files that predate them — and reports, per matched
-cell, the relative change in:
+mix, dist, batch_size, shards, key_kind, leaf_chunking, repeat) — the
+stable key documented in README "Benchmarks"; batch_size and shards
+default to 1, key_kind to "u64" and leaf_chunking to true for files that
+predate them — and reports, per matched cell, the relative change in:
 
   - steps_per_op.search and steps_per_op.total
   - per-op rates of the probe counters (hash_probes, probes_lookup,
     probes_chain, probes_binsearch, node_hops, walk_fallbacks, restarts)
   - per_op.predecessor.search_steps_per_op when present
+  - per-op rates of the schema-v7 leaf counters (bytes_touched,
+    chunk_scans) on single-thread u64 cells only — the gated fast path
+    where the modeled byte counts are deterministic; multi-thread and
+    bytes16 cells stay report-only
 
 A change worse than --threshold (default 10%) counts as a regression.
 Wall-clock metrics (mops, latency) are intentionally NOT compared: they
@@ -21,8 +25,10 @@ Designed to run as a non-fatal CI report step:
 
     tools/compare_bench.py BENCH_suite.json build/BENCH_suite_quick.json
 
-Schema: accepts v1 through v6 files; counters missing from an older file
-are skipped (reported as "new"), never treated as zero.
+Schema: accepts v1 through v7 files; counters missing from an older file
+are skipped (reported as "new"), never treated as zero.  Pre-v7 cells
+join v7 cells as leaf_chunking=true (the default layout); chunking-off
+cells are a v7-only axis and never match an older file.
 
 `--self-test` runs the built-in join unit test (no input files needed);
 it is registered in ctest so the cross-version join cannot bit-rot.
@@ -33,13 +39,17 @@ import json
 import sys
 
 JOIN_KEY = ("section", "structure", "universe_bits", "threads", "mix",
-            "dist", "batch_size", "shards", "key_kind", "repeat")
+            "dist", "batch_size", "shards", "key_kind", "leaf_chunking",
+            "repeat")
 
 # Per-key defaults applied when a file predates an axis, so older suites
 # still join cleanly (batch_size was introduced in schema v4, shards in v5,
-# key_kind in v6; every earlier cell was implicitly unbatched, unsharded
-# and u64-keyed).
-JOIN_DEFAULTS = {"batch_size": 1, "shards": 1, "key_kind": "u64"}
+# key_kind in v6, leaf_chunking in v7; every earlier cell was implicitly
+# unbatched, unsharded and u64-keyed, and ran whatever the default engine
+# layout of its era was — which the v7 suite records as its
+# leaf_chunking=true cells, so that is the side pre-v7 cells join).
+JOIN_DEFAULTS = {"batch_size": 1, "shards": 1, "key_kind": "u64",
+                 "leaf_chunking": True}
 
 # Note: the finger counters (finger_hits/misses, hops_finger_saved) are
 # intentionally absent — a hit-rate shift is not by itself a regression;
@@ -53,6 +63,15 @@ RATE_COUNTERS = ("hash_probes", "probes_lookup", "probes_chain",
                  "probes_binsearch", "node_hops", "hops_top",
                  "hops_descent", "walk_fallbacks", "restarts",
                  "cursor_redescends")
+
+# Schema-v7 leaf counters, compared only on single-thread u64 cells: the
+# modeled bytes_touched / chunk_scans rates are deterministic there, while
+# under concurrency the seqlock retry and maintenance-skip paths make them
+# interleaving-dependent (and the bytes16 instantiation is still
+# report-only, like its step counts).  chunk_splits / chunk_merges are
+# intentionally absent: their rate is a property of the key stream's churn,
+# not a cost, and "more merges" is not by itself worse.
+LEAF_RATE_COUNTERS = ("bytes_touched", "chunk_scans")
 
 
 def cells_of(doc):
@@ -134,8 +153,37 @@ def self_test():
     # --key-kind filtering keeps only the named instantiation.
     kept6 = [k for k in cand6 if k[ki] == "u64"]
     assert len(kept6) == 1, "--key-kind u64 must drop both bytes16 cells"
-    print("compare_bench --self-test: ok (join v4->v5->v6, shards/key_kind "
-          "defaults, --max-shards/--key-kind filters)")
+
+    # v6 -> v7: the leaf_chunking axis.  A v6 cell (no leaf_chunking key)
+    # joins exactly the v7 cell with leaf_chunking == True; the chunking-off
+    # twin must stay unmatched.  The v7 leaf counters are compared on the
+    # single-thread u64 cell and suppressed on a 4-thread twin.
+    v6b = {"schema_version": 6, "cells": [
+        cell(batch_size=1, shards=1, key_kind="u64"),
+    ]}
+    v7 = {"schema_version": 7, "cells": [
+        cell(batch_size=1, shards=1, key_kind="u64", leaf_chunking=True,
+             steps={"node_hops": 300, "hash_probes": 200,
+                    "bytes_touched": 6400, "chunk_scans": 60}),
+        cell(batch_size=1, shards=1, key_kind="u64", leaf_chunking=False),
+        cell(batch_size=1, shards=1, key_kind="u64", leaf_chunking=True,
+             threads=4,
+             steps={"node_hops": 300, "bytes_touched": 6400}),
+    ]}
+    cand7 = cells_of(v7)
+    shared7 = set(cells_of(v6b)) & set(cand7)
+    li = JOIN_KEY.index("leaf_chunking")
+    assert len(shared7) == 1 and next(iter(shared7))[li] is True, \
+        "a pre-v7 cell must join exactly the leaf_chunking=True v7 cell"
+    m1 = metrics_of(cand7[next(iter(shared7))])
+    assert abs(m1["steps.bytes_touched/op"] - 64.0) < 1e-9
+    assert "steps.chunk_scans/op" in m1
+    mt = metrics_of(next(c for c in v7["cells"] if c.get("threads") == 4))
+    assert "steps.bytes_touched/op" not in mt, \
+        "leaf counters must be gated off multi-thread cells"
+    print("compare_bench --self-test: ok (join v4->v5->v6->v7, "
+          "shards/key_kind/leaf_chunking defaults, --max-shards/--key-kind "
+          "filters, single-thread leaf-counter gate)")
     return 0
 
 
@@ -152,6 +200,11 @@ def metrics_of(cell):
         for name in RATE_COUNTERS:
             if name in steps:
                 out["steps.%s/op" % name] = steps[name] / ops
+        if (cell.get("threads", 1) == 1 and
+                cell.get("key_kind", "u64") == "u64"):
+            for name in LEAF_RATE_COUNTERS:
+                if name in steps:
+                    out["steps.%s/op" % name] = steps[name] / ops
     pred = cell.get("per_op", {}).get("predecessor")
     if pred and "search_steps_per_op" in pred:
         out["per_op.predecessor.search_steps_per_op"] = \

@@ -200,6 +200,16 @@ struct CellSpec {
   // Leaf-chunk hint index on/off (v7 axis, DESIGN.md §7).  Default on — the
   // shipped Config default; older files join as leaf_chunking = true.
   bool leaf_chunking = true;
+  // Adaptive tower heights on/off (v8 axis, DESIGN.md §8).  Default on —
+  // the shipped Config default.  Pre-v8 files join as false: adaptation did
+  // not exist then, so off is the behavior-accurate fill (suites set it to
+  // false explicitly on baseline structures, which have no height policy).
+  bool adaptive_heights = true;
+  // Finger cache on/off.  Report-only, not a join axis: it is constant
+  // within every section — only toplevel_ablation turns it off, so the
+  // finger cannot short-circuit the descents whose hop delta that section
+  // measures (DESIGN.md §8.2).
+  bool use_finger = true;
   uint32_t repeat = 0;            // repeat index within identical specs
   WorkloadConfig wc;
 };
@@ -228,11 +238,15 @@ class Bytes16WorkloadAdapter {
   static constexpr uint32_t kSpread = 56;
   static constexpr uint32_t kUniverseBits = 64 + kSpread;
 
-  explicit Bytes16WorkloadAdapter(bool leaf_chunking = true)
-      : trie_([leaf_chunking] {
+  explicit Bytes16WorkloadAdapter(bool leaf_chunking = true,
+                                  bool adaptive_heights = true,
+                                  bool use_finger = true)
+      : trie_([&] {
           Config c;
           c.universe_bits = kUniverseBits;
           c.leaf_chunking = leaf_chunking;
+          c.adaptive_heights = adaptive_heights;
+          c.use_finger = use_finger;
           return c;
         }()) {}
 
@@ -255,7 +269,8 @@ class Bytes16WorkloadAdapter {
 inline CellResult run_cell(const CellSpec& spec) {
   CellResult res;
   if (spec.structure == "skiptrie" && spec.key_kind == "bytes16") {
-    Bytes16WorkloadAdapter a(spec.leaf_chunking);
+    Bytes16WorkloadAdapter a(spec.leaf_chunking, spec.adaptive_heights,
+                             spec.use_finger);
     res.r = run_workload(a, spec.wc);
     // The wide trie's StructureStats is a distinct nested type (deeper
     // level_counts); copy the scalar fields the emitter reports.
@@ -277,6 +292,8 @@ inline CellResult run_cell(const CellSpec& spec) {
     Config cfg;
     cfg.universe_bits = spec.universe_bits;
     cfg.leaf_chunking = spec.leaf_chunking;
+    cfg.adaptive_heights = spec.adaptive_heights;
+    cfg.use_finger = spec.use_finger;
     SkipTrie t(cfg);
     res.r = run_workload(t, spec.wc);
     res.stats = t.structure_stats();  // quiescent: workers joined
@@ -285,6 +302,8 @@ inline CellResult run_cell(const CellSpec& spec) {
     Config cfg;
     cfg.universe_bits = spec.universe_bits;
     cfg.leaf_chunking = spec.leaf_chunking;
+    cfg.adaptive_heights = spec.adaptive_heights;
+    cfg.use_finger = spec.use_finger;
     ShardedEngine e(spec.shards, cfg);
     res.r = run_workload(e, spec.wc);
     res.stats = e.structure_stats();  // aggregated across shards
@@ -375,9 +394,21 @@ inline std::string git_rev(const Args& args) {
 //       `leaf_checkpoints` object (25/50/75% mid-run samples + final) and a
 //       new "leaf_ablation" section sweeps chunking on/off.  Purely
 //       additive again.
+//   v8  distribution-adaptive tower heights (DESIGN.md §8): cells gain the
+//       `adaptive_heights` axis (default false on join — pre-v8 files ran
+//       without the policy, so off is the behavior-accurate fill) and the
+//       `zipf_drift` axis (default false — the v8 hot-set drift mode), plus
+//       report-only `use_finger`; steps gains {adapt_checks, promotions,
+//       demotions} (DESIGN.md §8.4; event counters outside search/total
+//       steps and excluded from rate gating — policy activity scales with
+//       skew, not with code quality); structure_stats gains `level_counts`
+//       (the tower-height histogram the policy reshapes); cells gain a
+//       `structure_checkpoints` object (25/50/75% mid-run samples + final)
+//       and a new "toplevel_ablation" section sweeps adaptation on/off on
+//       matched zipf/uniform cells.  Purely additive again.
 inline void write_suite_header(JsonWriter& j, const char* suite,
                                const std::string& rev, bool quick) {
-  j.kv("schema_version", 7);
+  j.kv("schema_version", 8);
   j.kv("suite", suite);
   j.kv("git_rev", rev);
   j.kv("timestamp_utc", iso8601_utc_now());
@@ -442,12 +473,16 @@ inline void write_step_counters(JsonWriter& j, const StepCounters& s) {
   j.kv("queue_full_waits", s.queue_full_waits);
   j.kv("queue_depth_sum", s.queue_depth_sum);
   j.kv("queue_wait_ns", s.queue_wait_ns);
+  j.kv("adapt_checks", s.adapt_checks);
+  j.kv("promotions", s.promotions);
+  j.kv("demotions", s.demotions);
   j.end_object();
 }
 
 // One record per measured cell; keys stable across suites so files from two
 // revisions can be joined on (section, structure, universe_bits, threads,
-// mix, dist, batch_size, shards, key_kind, leaf_chunking, repeat).
+// mix, dist, batch_size, shards, key_kind, leaf_chunking, adaptive_heights,
+// zipf_drift, repeat).
 inline void write_cell(JsonWriter& j, const CellSpec& spec,
                        const CellResult& res) {
   const WorkloadResult& r = res.r;
@@ -462,6 +497,9 @@ inline void write_cell(JsonWriter& j, const CellSpec& spec,
   j.kv("shards", spec.shards);
   j.kv("key_kind", spec.key_kind);
   j.kv("leaf_chunking", spec.leaf_chunking);
+  j.kv("adaptive_heights", spec.adaptive_heights);
+  j.kv("zipf_drift", spec.wc.zipf_drift);
+  j.kv("use_finger", spec.use_finger);
   j.kv("key_space", spec.wc.key_space);
   j.kv("prefill", spec.wc.prefill);
   j.kv("seed", spec.wc.seed);
@@ -509,6 +547,19 @@ inline void write_cell(JsonWriter& j, const CellSpec& spec,
     j.kv("hash_load_factor", st.hash_load_factor);
     j.kv("leaf_chunks", static_cast<uint64_t>(st.leaf_chunks));
     j.kv("avg_occupancy", st.avg_occupancy);
+    // Tower-height histogram (v8): level_counts[l] = towers whose current
+    // height is exactly l.  Trimmed at the highest populated level; empty
+    // for bytes16 cells (their adapter copies scalar fields only, the wide
+    // trie's histogram has a different depth).
+    size_t top_lvl = 0;
+    for (size_t l = 0; l <= SkipTrie::Engine::kMaxLevels; ++l) {
+      if (st.level_counts[l] != 0) top_lvl = l + 1;
+    }
+    j.key("level_counts").begin_array();
+    for (size_t l = 0; l < top_lvl; ++l) {
+      j.value(static_cast<uint64_t>(st.level_counts[l]));
+    }
+    j.end_array();
     j.end_object();
   }
   if (r.leaf.samples > 0) {
@@ -520,6 +571,17 @@ inline void write_cell(JsonWriter& j, const CellSpec& spec,
     j.kv("min_occupancy", r.leaf.min_occupancy);
     j.kv("max_occupancy", r.leaf.max_occupancy);
     j.kv("final_occupancy", r.leaf.final_occupancy);
+    j.end_object();
+  }
+  if (r.structure.samples > 0) {
+    j.key("structure_checkpoints").begin_object();
+    j.kv("samples", r.structure.samples);
+    j.kv("min_top", r.structure.min_top);
+    j.kv("max_top", r.structure.max_top);
+    j.kv("final_top", r.structure.final_top);
+    j.kv("final_keys", r.structure.final_keys);
+    j.kv("final_promotions", r.structure.final_promotions);
+    j.kv("final_demotions", r.structure.final_demotions);
     j.end_object();
   }
   if (spec.structure == "skiplist") {

@@ -39,6 +39,9 @@ StepCounters& StepCounters::operator+=(const StepCounters& o) {
   queue_full_waits += o.queue_full_waits;
   queue_depth_sum += o.queue_depth_sum;
   queue_wait_ns += o.queue_wait_ns;
+  adapt_checks += o.adapt_checks;
+  promotions += o.promotions;
+  demotions += o.demotions;
   return *this;
 }
 
@@ -80,6 +83,9 @@ StepCounters StepCounters::operator-(const StepCounters& o) const {
   r.queue_full_waits -= o.queue_full_waits;
   r.queue_depth_sum -= o.queue_depth_sum;
   r.queue_wait_ns -= o.queue_wait_ns;
+  r.adapt_checks -= o.adapt_checks;
+  r.promotions -= o.promotions;
+  r.demotions -= o.demotions;
   return r;
 }
 

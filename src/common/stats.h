@@ -92,6 +92,16 @@ struct StepCounters {
                                   // service_subtasks = mean depth)
   uint64_t queue_wait_ns = 0;     // ns between a subtask's enqueue and a
                                   // worker dequeuing it
+  // Adaptive-heights attribution (schema v8, DESIGN.md §8.4).  Event
+  // counters: they tally policy activity, not shared-memory search steps,
+  // and do NOT enter search_steps()/total_steps() — with adaptation off all
+  // three are zero and every other counter matches the seed exactly.
+  uint64_t adapt_checks = 0;      // sampled reads that fed the frequency
+                                  // sketch and evaluated the thresholds
+  uint64_t promotions = 0;        // towers raised above their deterministic
+                                  // draw by the policy
+  uint64_t demotions = 0;         // promoted towers swept back down to
+                                  // their deterministic draw
 
   StepCounters& operator+=(const StepCounters& o);
   StepCounters operator-(const StepCounters& o) const;
@@ -120,6 +130,19 @@ struct LeafLiveStats {
     const uint64_t slots = chunks * capacity;
     return slots == 0 ? 0.0 : static_cast<double>(keys) / slots;
   }
+};
+
+// Cheap, always-current structural totals (schema v8, DESIGN.md §8.4).
+// Read from atomic counters maintained by the operation paths, so any
+// thread may sample them mid-run — the driver's checkpoint seam uses this
+// to chart adaptation speed (top-level population and promotion/demotion
+// totals per run quarter).  Approximate under races by at most the number
+// of in-flight operations; exact at quiescence.
+struct StructureLiveStats {
+  uint64_t keys = 0;        // current set size
+  uint64_t top_count = 0;   // towers currently reaching the top level
+  uint64_t promotions = 0;  // policy promotions since construction
+  uint64_t demotions = 0;   // policy demotions since construction
 };
 
 // The calling thread's counters.  Distinct threads get distinct instances.

@@ -49,6 +49,20 @@ struct Config {
   bool leaf_chunking = true;
 #endif
 
+  // Distribution-adaptive tower heights (DESIGN.md §8): a sampled frequency
+  // sketch promotes hot keys' towers through the insert-time raise path and
+  // demotes cold promoted toppers through the delete-time sweep, so a hot
+  // key's depth approaches O(1) for every thread (splay-list-style policy).
+  // Off reproduces the seed layout and step counts exactly — heights stay
+  // the pure deterministic Geometric(1/2) draw and reads never early-exit —
+  // so step_pinning_test pins its goldens with this off.  The compile-time
+  // default lets CI build an adaptation-off matrix leg.
+#ifdef SKIPTRIE_ADAPTIVE_HEIGHTS_DEFAULT
+  bool adaptive_heights = SKIPTRIE_ADAPTIVE_HEIGHTS_DEFAULT;
+#else
+  bool adaptive_heights = true;
+#endif
+
   // Slab granularity of the node arena.
   size_t arena_blocks_per_slab = 4096;
 };

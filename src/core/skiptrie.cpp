@@ -30,13 +30,140 @@ BasicSkipTrie<Traits>::BasicSkipTrie(const Config& cfg)
   assert(cfg.universe_bits >= 4 && cfg.universe_bits <= Traits::kMaxBits);
   engine_.set_finger_enabled(cfg.use_finger);
   engine_.enable_leaf_chunking(cfg.leaf_chunking);
+  if (cfg.adaptive_heights) {
+    adapt_ = std::make_unique<AdaptiveHeightManager>();
+  }
 }
 
 template <typename Traits>
-auto BasicSkipTrie<Traits>::locate(key_type key, Ikey x) const ->
+auto BasicSkipTrie<Traits>::locate(key_type key, Ikey x,
+                                   LocateExact exact) const ->
     typename Engine::Bracket {
   TrieStartEnv env{&trie_, key};
-  return engine_.fingered_descend(x, /*min_level=*/0, &trie_start, &env);
+  return engine_.fingered_descend(
+      x, /*min_level=*/0, &trie_start, &env, /*hints=*/nullptr,
+      adapt_ != nullptr ? exact : LocateExact::kNone);
+}
+
+template <typename Traits>
+void BasicSkipTrie<Traits>::maybe_adapt(Node_t* n) const {
+  AdaptiveHeightManager* am = adapt_.get();
+  if (am == nullptr) return;
+  uint64_t& tick = tls_adapt_tick();
+  ++tick;
+  if ((tick & ((1ull << AdaptiveHeightManager::kSamplePeriodLog2) - 1)) != 0) {
+    return;  // hot path: one thread-local increment per read
+  }
+  if (n == nullptr || n->kind() != NodeKind::kInterior || n->level() != 0) {
+    return;
+  }
+  auto& c = tls_counters();
+  c.adapt_checks++;
+  const Ikey x = n->ikey();
+  if (x == Ikey(0) || x == Traits::ikey_max()) return;  // recycled/poisoned
+  const uint64_t fp = Traits::height_mix(x);
+  const uint32_t cnt = am->note(fp);
+  const uint64_t tot = am->total();
+  const uint32_t top = engine_.top_level();
+  // The root's height byte is the current-height hint (node.h): reading it
+  // screens out already-tall towers without probing the tower itself.
+  const uint32_t cur_h = n->orig_height();
+  if (cur_h > top) return;  // torn/poisoned meta — just a missed sample
+  const uint32_t want =
+      AdaptiveHeightManager::desired_height(cnt, tot, cur_h, top);
+  if (want <= cur_h) return;
+  if (!am->try_latch(fp)) return;  // another thread is adapting this stripe
+  // Re-validate under the latch (the node may have been erased or recycled
+  // since the read observed it); promote_tower re-checks all of this again
+  // via pointer identity, so a stale pass here only costs steps.
+  if (n->kind() == NodeKind::kInterior && n->level() == 0 && n->ikey() == x &&
+      n->stopw.load(std::memory_order_relaxed) == 0 &&
+      !is_marked(dcss_read(n->next))) {
+    adapt_promote(x, n, want);
+  }
+  am->unlatch(fp);
+}
+
+template <typename Traits>
+void BasicSkipTrie<Traits>::adapt_promote(Ikey x, Node_t* root,
+                                          uint32_t want) const {
+  const uint32_t base_h = tower_height(x);
+  const typename Engine::PromoteResult pr =
+      engine_.promote_tower(x, root, want);
+  const key_type key = static_cast<key_type>(x - Ikey(1));
+  if (pr.top != nullptr) {
+    // Coverage invariant (DESIGN.md §3.4/§8.3): a tower reaching the top
+    // level must be indexed by the x-fast trie, exactly as finish_insert
+    // does for an insert-time raise.
+    trie_.insert_prefixes(key, pr.top);
+    top_live_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (pr.undone_top != nullptr) {
+    // CAS-fallback top undo (DESIGN.md §3.5(5)): sweep then retire.
+    trie_.remove_prefixes(key, pr.undone_top, nullptr);
+    engine_.retire_node(pr.undone_top);
+  }
+  if (!pr.raised) return;
+  root->set_height_hint(pr.new_height);
+  adapt_->record_promoted(Traits::height_mix(x), root, base_h);
+  adapt_->add_promotion();
+  tls_counters().promotions++;
+  // Each promotion pays for a bounded demotion scan (splay-list-style
+  // amortized rotation): cold promoted towers get found without any
+  // background thread.
+  adapt_demote_scan();
+}
+
+template <typename Traits>
+void BasicSkipTrie<Traits>::adapt_demote_scan() const {
+  AdaptiveHeightManager* am = adapt_.get();
+  AdaptiveHeightManager::Promoted cand;
+  if (!am->next_demote_candidate(
+          &cand, AdaptiveHeightManager::kDemoteScanPerPromote)) {
+    return;
+  }
+  Node_t* root = static_cast<Node_t*>(cand.root);
+  if (!am->try_latch(cand.fp)) return;  // may collide with the promote
+                                        // latch we hold — skip, not block
+  const Ikey x = root->ikey();
+  const uint32_t top = engine_.top_level();
+  // Typed validation of the opaque registry pointer: storage is type-stable
+  // (DESIGN.md §3.3) so the reads are safe, and a recycled/re-keyed node
+  // fails the fingerprint or kind/level screen and just drops the slot.
+  const bool valid =
+      root->kind() == NodeKind::kInterior && root->level() == 0 &&
+      x != Ikey(0) && x != Traits::ikey_max() &&
+      Traits::height_mix(x) == cand.fp &&
+      !is_marked(dcss_read(root->next)) &&
+      root->stopw.load(std::memory_order_relaxed) == 0 && cand.base_h < top;
+  if (!valid) {
+    am->drop_promoted(cand.root);
+    am->unlatch(cand.fp);
+    return;
+  }
+  const uint32_t cur_h = root->orig_height();
+  if (cur_h <= cand.base_h || cur_h > top ||
+      !AdaptiveHeightManager::is_cold(am->count_of(cand.fp), am->total(),
+                                      cur_h, top)) {
+    am->unlatch(cand.fp);
+    return;
+  }
+  const key_type key = static_cast<key_type>(x - Ikey(1));
+  const typename Engine::EraseResult dr =
+      engine_.demote_tower(x, root, cand.base_h);
+  if (dr.top != nullptr) {
+    // Demote won the top mark: it owns the trie sweep (engine.h contract).
+    trie_.remove_prefixes(key, dr.top, dr.top_left);
+    top_live_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (dr.erased) {
+    root->set_height_hint(cand.base_h);
+    am->drop_promoted(cand.root);
+    am->add_demotion();
+    tls_counters().demotions++;
+  }
+  engine_.retire_owned(dr);
+  am->unlatch(cand.fp);
 }
 
 template <typename Traits>
@@ -52,6 +179,7 @@ bool BasicSkipTrie<Traits>::finish_insert(
   size_.fetch_add(1, std::memory_order_relaxed);
   if (r.top != nullptr) {
     trie_.insert_prefixes(key, r.top);
+    top_live_.fetch_add(1, std::memory_order_relaxed);
   }
   if (r.undone_top != nullptr) {
     // CAS-fallback top-level undo (DESIGN.md §3.5(5)): the node was briefly
@@ -72,6 +200,7 @@ bool BasicSkipTrie<Traits>::finish_erase(key_type key,
     // Algorithm 7's trie sweep must finish before the tower's storage can
     // be recycled; only then retire the nodes we own.
     trie_.remove_prefixes(key, r.top, r.top_left);
+    top_live_.fetch_sub(1, std::memory_order_relaxed);
   }
   engine_.retire_owned(r);
   return true;
@@ -104,8 +233,12 @@ bool BasicSkipTrie<Traits>::contains(key_type key) const {
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
   const Ikey x = ikey_of(key);
-  const typename Engine::Bracket b = locate(key, x);
-  return b.right->ikey() == x;
+  const typename Engine::Bracket b = locate(key, x, LocateExact::kRight);
+  const bool found = b.right->ikey() == x;
+  // Whether found at level 0 or via the exact exit, b.right is the target's
+  // level-0 node — the sampled frequency signal (DESIGN.md §8.1).
+  if (found) maybe_adapt(b.right);
+  return found;
 }
 
 template <typename Traits>
@@ -115,8 +248,11 @@ auto BasicSkipTrie<Traits>::predecessor(key_type key) const
   EbrDomain::Guard g(ebr_);
   // Largest ikey <= ikey(key)  <=>  bracket left of x = ikey(key) + 1.
   const Ikey x = ikey_of(key) + Ikey(1);
-  const typename Engine::Bracket b = locate(key, x);
+  const typename Engine::Bracket b = locate(key, x, LocateExact::kLeft);
   if (b.left->kind() != NodeKind::kInterior) return std::nullopt;  // head
+  // Sample the answer's tower: promoting it is what lets later queries in
+  // this neighborhood take the kLeft exact exit (DESIGN.md §8.1).
+  maybe_adapt(b.left->level() == 0 ? b.left : b.left->root());
   return b.left->ikey() - Ikey(1);
 }
 
@@ -126,8 +262,9 @@ auto BasicSkipTrie<Traits>::strict_predecessor(key_type key) const
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
   const Ikey x = ikey_of(key);
-  const typename Engine::Bracket b = locate(key, x);
+  const typename Engine::Bracket b = locate(key, x, LocateExact::kLeft);
   if (b.left->kind() != NodeKind::kInterior) return std::nullopt;
+  maybe_adapt(b.left->level() == 0 ? b.left : b.left->root());
   return b.left->ikey() - Ikey(1);
 }
 
@@ -137,8 +274,9 @@ auto BasicSkipTrie<Traits>::successor(key_type key) const
   assert(key <= max_key());
   EbrDomain::Guard g(ebr_);
   const Ikey x = ikey_of(key) + Ikey(1);  // first node with ikey >= ikey(key)+1
-  const typename Engine::Bracket b = locate(key, x);
+  const typename Engine::Bracket b = locate(key, x, LocateExact::kRight);
   if (b.right->kind() != NodeKind::kInterior) return std::nullopt;  // tail
+  maybe_adapt(b.right->level() == 0 ? b.right : b.right->root());
   return b.right->ikey() - Ikey(1);
 }
 

@@ -32,13 +32,17 @@
 // largest keys of the universe are reserved for sentinels.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/stats.h"
 #include "core/config.h"
 #include "reclaim/arena.h"
 #include "reclaim/ebr.h"
+#include "skiplist/adaptive.h"
 #include "skiplist/engine.h"
 #include "xfast/xfast_trie.h"
 
@@ -129,7 +133,10 @@ class BasicSkipTrie {
     if (lo > hi) return;
     EbrDomain::Guard g(ebr_);
     const Ikey xlo = ikey_of(lo);
-    const typename Engine::Bracket b = locate(lo, xlo);
+    // kRight exact exit (DESIGN.md §8.3): when lo itself is a promoted hot
+    // key, the bracket's right side is its level-0 root — exactly where the
+    // level-0 walk below starts either way.
+    const typename Engine::Bracket b = locate(lo, xlo, LocateExact::kRight);
     const Ikey xhi = ikey_of(hi);
     for (Node_t* n = b.right;
          n != nullptr && n->kind() == NodeKind::kInterior && n->ikey() <= xhi;
@@ -183,6 +190,24 @@ class BasicSkipTrie {
     return cm != nullptr ? cm->live_stats() : LeafLiveStats{};
   }
 
+  // Cheap atomic structural totals, safe to sample mid-run from any thread
+  // (DESIGN.md §8.4): the driver's checkpoint seam charts adaptation speed
+  // from these.  promotions/demotions stay zero when adaptation is off.
+  StructureLiveStats structure_live_stats() const {
+    StructureLiveStats s;
+    s.keys = size();
+    s.top_count = top_live_.load(std::memory_order_relaxed);
+    if (adapt_ != nullptr) {
+      s.promotions = adapt_->promotions();
+      s.demotions = adapt_->demotions();
+    }
+    return s;
+  }
+
+  // The adaptation manager, nullptr when Config::adaptive_heights is off
+  // (white-box tests).
+  AdaptiveHeightManager* adaptive() const { return adapt_.get(); }
+
   // Internal components, exposed for white-box tests and benchmarks.
   Engine& engine() { return engine_; }
   const Engine& engine() const { return engine_; }
@@ -202,7 +227,26 @@ class BasicSkipTrie {
   // (DESIGN.md §3.6): a finger hit starts below the top and skips
   // lowest_ancestor entirely; a miss runs the x-fast pred_start and the
   // descent seeds the finger from it.  Must be called with ebr_ pinned.
-  typename Engine::Bracket locate(key_type key, Ikey x) const;
+  // `exact` selects the adaptive early exit the caller can consume
+  // (DESIGN.md §8.3); it is forced to kNone while adaptation is off, so
+  // the off configuration descends exactly like the seed.
+  typename Engine::Bracket locate(key_type key, Ikey x,
+                                  LocateExact exact = LocateExact::kNone) const;
+
+  // --- Adaptive tower heights: policy side (DESIGN.md §8) -----------------
+  // Sampling hook run by the single-key reads on the level-0 node they
+  // observed: every 2^kSamplePeriodLog2-th read per thread feeds the
+  // frequency sketch and, when the splay-list threshold for the tower's
+  // current height is crossed, promotes the tower under the adapt latch.
+  void maybe_adapt(Node_t* n) const;
+  // Raise root's tower to `want` levels and publish the consequences
+  // (x-fast prefixes on reaching the top, registry entry, counters).
+  // Caller holds the adapt latch for the tower's fingerprint.
+  void adapt_promote(Ikey x, Node_t* root, uint32_t want) const;
+  // Scan a few promoted-registry slots for a cold tower and demote it back
+  // to its deterministic draw (bounded amortized rotation: each promotion
+  // pays for kDemoteScanPerPromote probes).
+  void adapt_demote_scan() const;
 
   // Lazy x-fast start for the engine's cursor entry points: only invoked
   // when neither the cursor nor the finger has a usable bracket, so those
@@ -228,7 +272,14 @@ class BasicSkipTrie {
   DcssContext ctx_;
   mutable Engine engine_;
   mutable Trie trie_;
+  // The adaptation policy state (DESIGN.md §8); null when
+  // Config::adaptive_heights is off — every hook checks and the structure
+  // then behaves exactly like the seed.
+  std::unique_ptr<AdaptiveHeightManager> adapt_;
   std::atomic<int64_t> size_{0};
+  // Towers currently at the top level (mid-run sampling; maintained by
+  // finish_insert/finish_erase and the promote/demote wrappers).
+  mutable std::atomic<uint64_t> top_live_{0};
 };
 
 // The historical u64 fast-path name.

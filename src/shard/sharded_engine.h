@@ -161,6 +161,20 @@ class BasicShardedEngine {
     return agg;
   }
 
+  // Mid-run-safe structural totals: sum of the per-shard atomic counters
+  // (DESIGN.md §8.4).  All fields are additive across shards.
+  StructureLiveStats structure_live_stats() const {
+    StructureLiveStats agg;
+    for (const auto& sp : shards_) {
+      const StructureLiveStats s = sp->structure_live_stats();
+      agg.keys += s.keys;
+      agg.top_count += s.top_count;
+      agg.promotions += s.promotions;
+      agg.demotions += s.demotions;
+    }
+    return agg;
+  }
+
  private:
   Config cfg_;                  // the caller's config (full universe)
   uint32_t shard_bits_ = 0;     // log2(shard count)

@@ -1,0 +1,165 @@
+#include "skiplist/adaptive.h"
+
+namespace skiptrie {
+
+namespace {
+
+// Slot tag: the fingerprint's high half, forced nonzero (0 = empty slot).
+inline uint32_t tag_of(uint64_t fp) {
+  const uint32_t t = static_cast<uint32_t>(fp >> 32);
+  return t == 0 ? 1u : t;
+}
+
+inline uint64_t pack(uint32_t tag, uint32_t count) {
+  return (static_cast<uint64_t>(tag) << 32) | count;
+}
+inline uint32_t slot_tag(uint64_t w) { return static_cast<uint32_t>(w >> 32); }
+inline uint32_t slot_count(uint64_t w) { return static_cast<uint32_t>(w); }
+
+}  // namespace
+
+AdaptiveHeightManager::AdaptiveHeightManager() {
+  for (auto& s : sketch_) s.store(0, std::memory_order_relaxed);
+  for (auto& l : latches_) l.store(0, std::memory_order_relaxed);
+}
+
+uint32_t AdaptiveHeightManager::note(uint64_t fp) {
+  const uint32_t slot = static_cast<uint32_t>(fp) & (kSketchSlots - 1);
+  const uint32_t tag = tag_of(fp);
+  std::atomic<uint64_t>& s = sketch_[slot];
+  uint64_t w = s.load(std::memory_order_relaxed);
+  uint32_t result = 0;
+  for (;;) {
+    uint64_t nw;
+    if (slot_tag(w) == tag) {
+      const uint32_t c = slot_count(w);
+      if (c == UINT32_MAX) {
+        result = c;
+        break;
+      }
+      nw = pack(tag, c + 1);
+      result = c + 1;
+    } else if (slot_tag(w) == 0) {
+      nw = pack(tag, 1);
+      result = 1;
+    } else {
+      // Occupied by another key: decay it (TinyLFU-style eviction pressure);
+      // take the slot over once its count reaches zero.
+      const uint32_t c = slot_count(w);
+      nw = c <= 1 ? pack(tag, 1) : pack(slot_tag(w), c - 1);
+      result = c <= 1 ? 1 : 0;
+    }
+    if (s.compare_exchange_weak(w, nw, std::memory_order_relaxed)) break;
+  }
+  if (total_.fetch_add(1, std::memory_order_relaxed) + 1 >= kAgeCap) {
+    age_sketch();
+  }
+  return result;
+}
+
+uint32_t AdaptiveHeightManager::count_of(uint64_t fp) const {
+  const uint32_t slot = static_cast<uint32_t>(fp) & (kSketchSlots - 1);
+  const uint64_t w = sketch_[slot].load(std::memory_order_relaxed);
+  return slot_tag(w) == tag_of(fp) ? slot_count(w) : 0;
+}
+
+void AdaptiveHeightManager::age_sketch() {
+  // One thread halves; concurrent note() calls keep running — a halved or
+  // not-yet-halved slot is equally valid as an estimate.
+  uint32_t expected = 0;
+  if (!aging_.compare_exchange_strong(expected, 1,
+                                      std::memory_order_acquire)) {
+    return;
+  }
+  if (total_.load(std::memory_order_relaxed) >= kAgeCap) {
+    for (auto& s : sketch_) {
+      uint64_t w = s.load(std::memory_order_relaxed);
+      for (;;) {
+        const uint32_t c = slot_count(w) >> 1;
+        const uint64_t nw = c == 0 ? 0 : pack(slot_tag(w), c);
+        if (w == nw || s.compare_exchange_weak(w, nw,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      }
+    }
+    // Halve the total the same way (racing increments are preserved).
+    uint64_t t = total_.load(std::memory_order_relaxed);
+    while (!total_.compare_exchange_weak(t, t / 2,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  aging_.store(0, std::memory_order_release);
+}
+
+uint32_t AdaptiveHeightManager::desired_height(uint32_t count, uint64_t total,
+                                               uint32_t base_h, uint32_t top) {
+  uint32_t best = base_h;
+  for (uint32_t l = base_h + 1; l <= top; ++l) {
+    const uint32_t shift = kThetaShiftTop + (top - l);
+    const uint64_t needed = shift >= 64 ? UINT64_MAX : (total >> shift);
+    if (count >= kMinCount && count >= needed) best = l;
+  }
+  return best;
+}
+
+bool AdaptiveHeightManager::is_cold(uint32_t count, uint64_t total,
+                                    uint32_t cur_h, uint32_t top) {
+  const uint32_t shift = kThetaShiftTop + (top - cur_h) + kHysteresisShift;
+  const uint64_t keep = shift >= 64 ? 0 : (total >> shift);
+  return count < kMinCount || count < keep;
+}
+
+bool AdaptiveHeightManager::try_latch(uint64_t fp) {
+  std::atomic<uint32_t>& l = latches_[fp & (kLatchStripes - 1)];
+  uint32_t expected = 0;
+  return l.compare_exchange_strong(expected, 1, std::memory_order_acquire);
+}
+
+void AdaptiveHeightManager::unlatch(uint64_t fp) {
+  latches_[fp & (kLatchStripes - 1)].store(0, std::memory_order_release);
+}
+
+void AdaptiveHeightManager::record_promoted(uint64_t fp, void* root,
+                                            uint32_t base_h) {
+  RegistryEntry& e = registry_[static_cast<uint32_t>(fp >> 20) &
+                               (kRegistrySlots - 1)];
+  // Overwrite order: root last, so a scanner that sees the new root also
+  // sees a plausible (fp, base_h) pair; any torn mix fails the caller-side
+  // validation and is merely dropped.
+  e.fp.store(fp, std::memory_order_relaxed);
+  e.base_h.store(base_h, std::memory_order_relaxed);
+  e.root.store(root, std::memory_order_release);
+}
+
+bool AdaptiveHeightManager::next_demote_candidate(Promoted* out,
+                                                  uint32_t probes) {
+  for (uint32_t i = 0; i < probes; ++i) {
+    const uint32_t idx =
+        scan_cursor_.fetch_add(1, std::memory_order_relaxed) &
+        (kRegistrySlots - 1);
+    RegistryEntry& e = registry_[idx];
+    void* root = e.root.load(std::memory_order_acquire);
+    if (root == nullptr) continue;
+    out->fp = e.fp.load(std::memory_order_relaxed);
+    out->root = root;
+    out->base_h = e.base_h.load(std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void AdaptiveHeightManager::drop_promoted(void* root) {
+  for (auto& e : registry_) {
+    if (e.root.load(std::memory_order_relaxed) == root) {
+      e.root.store(nullptr, std::memory_order_release);
+    }
+  }
+}
+
+uint64_t& tls_adapt_tick() {
+  thread_local uint64_t tick = 0;
+  return tick;
+}
+
+}  // namespace skiptrie

@@ -1,0 +1,150 @@
+// Distribution-adaptive tower heights: the policy side (DESIGN.md §8).
+//
+// The structural side of adaptation — raising a tower is an insert-time
+// raise replayed post-linearization, demoting one is a partial delete-sweep
+// — lives in the engine (engine.h promote_tower / demote_tower).  This file
+// holds everything the *policy* needs, none of it key-typed:
+//
+//   - a fixed-size tagged frequency sketch (TinyLFU-style: conflicting
+//     entries decay each other, totals age by halving) fed by every
+//     2^k-th read, so the hot path stays read-only and the signal is an
+//     unbiased sample of the access distribution;
+//   - per-tower adapt latches (striped try-locks) so at most one thread
+//     runs the promote/demote protocol for a given tower at a time — a
+//     latch is a *policy* serializer only, correctness never depends on it
+//     (the engine protocols are lock-free and validate everything);
+//   - a bounded registry of promoted towers, scanned round-robin a few
+//     entries per promotion, which is how cold toppers get found and
+//     demoted without any background thread (bounded amortized rotation,
+//     after the splay-list).
+//
+// Keys enter as 64-bit fingerprints (Traits::height_mix(ikey) — the same
+// mix that seeds the deterministic height draw), so one non-template
+// manager serves both KeyTraits instantiations.  Registry entries carry the
+// tower's level-0 node as an opaque pointer; the typed SkipTrie layer
+// validates it (kind/level/ikey/fingerprint/unmarked) before any use, so a
+// torn or stale entry costs a dropped slot, never a wrong action.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace skiptrie {
+
+class AdaptiveHeightManager {
+ public:
+  // Sample every 2^kSamplePeriodLog2-th single-key read per thread.
+  static constexpr uint32_t kSamplePeriodLog2 = 4;
+  // Frequency threshold for the TOP level as a power-of-two fraction of the
+  // sketch total: promote to the top when the sampled count reaches
+  // total >> kThetaShiftTop (i.e. observed frequency >= 2^-kThetaShiftTop).
+  // Each level below the top halves the threshold once more:
+  //   theta(l) = 2^-(kThetaShiftTop + top - l)
+  // so a warm-but-not-hot key earns a mid-tower and saves part of the
+  // descent (threshold math: DESIGN.md §8.2).
+  static constexpr uint32_t kThetaShiftTop = 8;
+  // Absolute floor: below this sampled count no promotion happens no matter
+  // how small the total is (startup noise guard).
+  static constexpr uint32_t kMinCount = 4;
+  // Demotion hysteresis: a promoted tower is demoted when its sampled count
+  // falls below theta(current_height) / 2^kHysteresisShift of the total.
+  static constexpr uint32_t kHysteresisShift = 2;
+  // Halve the sketch (counts and total) when the total reaches this cap:
+  // the signal becomes an exponentially-weighted window, which is what lets
+  // a drifted hot set displace the old one (re-adaptation speed).
+  static constexpr uint64_t kAgeCap = 1ull << 12;
+  // Registry entries examined for demotion per successful promotion: the
+  // bounded amortized rotation. Promotions pay for demotion scanning.
+  static constexpr uint32_t kDemoteScanPerPromote = 2;
+
+  AdaptiveHeightManager();
+  AdaptiveHeightManager(const AdaptiveHeightManager&) = delete;
+  AdaptiveHeightManager& operator=(const AdaptiveHeightManager&) = delete;
+
+  // Record one sampled access to `fp`; returns the sketch's (saturating)
+  // count estimate for fp after the update.  Triggers aging at kAgeCap.
+  uint32_t note(uint64_t fp);
+
+  // Current count estimate without updating (0 if fp is not resident).
+  uint32_t count_of(uint64_t fp) const;
+
+  // Sampled-access total the thresholds are relative to.
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+  // Largest height in (base_h, top] whose threshold `count` meets, or
+  // base_h when none.  Pure threshold math, no state.
+  static uint32_t desired_height(uint32_t count, uint64_t total,
+                                 uint32_t base_h, uint32_t top);
+
+  // True when a tower at `cur_h` (promoted from base_h) has gone cold:
+  // count < theta(cur_h) * total / 2^kHysteresisShift.
+  static bool is_cold(uint32_t count, uint64_t total, uint32_t cur_h,
+                      uint32_t top);
+
+  // Striped per-tower try-locks.  try_latch returns false when another
+  // thread holds the stripe — callers just skip this adapt opportunity.
+  bool try_latch(uint64_t fp);
+  void unlatch(uint64_t fp);
+
+  // --- Promotion registry (the demotion work-list) -------------------------
+  struct Promoted {
+    uint64_t fp = 0;
+    void* root = nullptr;    // tower's level-0 node, validated by the caller
+    uint32_t base_h = 0;     // the deterministic draw to demote back to
+  };
+
+  // Record a tower the policy just promoted.  Bounded: hashes fp to a slot
+  // and overwrites whatever was there (an evicted entry simply stops being
+  // demotion-scanned; its tower stays tall until erased or re-registered).
+  void record_promoted(uint64_t fp, void* root, uint32_t base_h);
+
+  // Round-robin scan cursor over the registry.  Fills `out` with the next
+  // occupied entry and returns true, or returns false after probing
+  // `probes` slots without finding one.
+  bool next_demote_candidate(Promoted* out, uint32_t probes);
+
+  // Drop the registry entry for `root` (after a demotion, an erase, or a
+  // failed validation).  No-op when absent.
+  void drop_promoted(void* root);
+
+  // Live adaptation totals (mid-run safe; feed StructureLiveStats).
+  uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t demotions() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  void add_promotion() { promotions_.fetch_add(1, std::memory_order_relaxed); }
+  void add_demotion() { demotions_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  static constexpr uint32_t kSketchSlots = 4096;  // power of two
+  static constexpr uint32_t kLatchStripes = 256;  // power of two
+  static constexpr uint32_t kRegistrySlots = 1024;  // power of two
+
+  struct RegistryEntry {
+    std::atomic<uint64_t> fp{0};
+    std::atomic<void*> root{nullptr};
+    std::atomic<uint32_t> base_h{0};
+  };
+
+  void age_sketch();
+
+  // Packed {tag:32 | count:32} per slot; tag 0 means empty (tags are the
+  // fingerprint's high half forced nonzero).
+  std::atomic<uint64_t> sketch_[kSketchSlots];
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint32_t> aging_{0};  // one-thread aging latch
+  std::atomic<uint32_t> latches_[kLatchStripes];
+  RegistryEntry registry_[kRegistrySlots];
+  std::atomic<uint32_t> scan_cursor_{0};
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> demotions_{0};
+};
+
+// Per-thread sampling tick shared by every SkipTrie instance (the cadence
+// is a rate, not per-structure state; one counter keeps the hot path to a
+// single thread-local increment).
+uint64_t& tls_adapt_tick();
+
+}  // namespace skiptrie

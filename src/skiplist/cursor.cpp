@@ -24,7 +24,8 @@ template <typename Traits>
 auto BasicDescentCursor<Traits>::seek(Ikey x, uint32_t cold_min_level,
                                       StartFn fallback, void* env,
                                       uint32_t stop_level,
-                                      uint32_t* stopped_at) -> Bracket {
+                                      uint32_t* stopped_at, LocateExact exact,
+                                      bool* exact_hit) -> Bracket {
   Engine& e = *eng_;
   const uint32_t top = e.top_level();
   auto& c = tls_counters();
@@ -47,11 +48,12 @@ auto BasicDescentCursor<Traits>::seek(Ikey x, uint32_t cold_min_level,
     if (n->ikey() != left_ikey_[l]) return false;
     return !is_marked(dcss_read(n->next));
   };
-  // Run the descent from (start, lvl).  A cold seek head-fills every row
-  // the descent will not write — above the entry as before, and (when a
-  // stop_level keeps the descent from reaching 0) the rows below the floor
-  // too, so no row is ever left holding garbage a later warm screen would
-  // dereference.  Any entry at the top makes every row real.
+  // Run the descent from (start, lvl).  A cold seek head-fills EVERY row
+  // first (the descent then overwrites the rows it traverses): this covers
+  // rows above the entry, rows below a stop_level floor, and — under
+  // adaptive heights — the rows an exact-match exit (DESIGN.md §8.3) never
+  // reaches, so no row is ever left holding garbage a later warm screen
+  // would dereference.  Any entry at the top makes every row real.
   const auto enter = [&](Node_t* start, uint32_t lvl,
                          BasicSearchFinger<Traits>* f, uint64_t epoch) {
     const uint32_t floor = lvl < stop_level ? lvl : stop_level;
@@ -59,13 +61,13 @@ auto BasicDescentCursor<Traits>::seek(Ikey x, uint32_t cold_min_level,
     if (lvl == top) rows_real_ = true;
     if (!was_warm) {
       for (uint32_t l = 0; l <= top; ++l) {
-        if (l >= floor && l <= lvl) continue;  // the descent writes these
         left_[l] = e.head_[l];
         left_ikey_[l] = Ikey(0);
         right_ikey_[l] = Ikey(0);
       }
     }
-    return e.descend_from(x, start, lvl, left_, f, epoch, this, floor);
+    return e.descend_from(x, start, lvl, left_, f, epoch, this, floor, exact,
+                          exact_hit);
   };
 
   // Reuse candidate: the lowest retained row (at or above eff_min) whose

@@ -77,8 +77,16 @@ class BasicDescentCursor {
   // bracket (only an entry at level 0 — a retained level-0 bracket still
   // containing x — yields a full bracket).  *stopped_at, when non-null,
   // receives the level of the returned bracket.
+  //
+  // Read paths under adaptive heights pass `exact` != kNone (DESIGN.md
+  // §8.3): the descent may end at an upper level whose bracket touches the
+  // target's promoted tower, returning its level-0 root directly;
+  // *exact_hit (when non-null) reports that exit (the bracket is then
+  // final regardless of stop_level).
   Bracket seek(Ikey x, uint32_t cold_min_level, StartFn fallback, void* env,
-               uint32_t stop_level = 0, uint32_t* stopped_at = nullptr);
+               uint32_t stop_level = 0, uint32_t* stopped_at = nullptr,
+               LocateExact exact = LocateExact::kNone,
+               bool* exact_hit = nullptr);
 
   // Per-level left hints of the last seek (size engine.top_level()+1),
   // in the exact shape insert_from/erase_from consume (and mutate).

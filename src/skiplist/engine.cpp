@@ -171,8 +171,9 @@ template <typename Traits>
 auto BasicSkipListEngine<Traits>::descend_from(Ikey x, Node_t* cur,
                                                uint32_t lvl, Node_t** hints,
                                                Finger* f, uint64_t epoch,
-                                               Cursor* rec, uint32_t floor)
-    -> Bracket {
+                                               Cursor* rec, uint32_t floor,
+                                               LocateExact exact,
+                                               bool* exact_hit) -> Bracket {
   // Record only the kRecordDepth levels just below the entry level (the
   // frequency cascade, DESIGN.md §3.6): a target must hit at level l before
   // its descent may populate rows l-1, l-2.  Recording every traversed
@@ -204,6 +205,36 @@ auto BasicSkipListEngine<Traits>::descend_from(Ikey x, Node_t* cur,
       // validation will reject (or that merely mis-screens — the finger is
       // a hint either way, DESIGN.md §3.6).
       f->record(lvl, b.left, b.left->ikey(), b.right->ikey(), epoch);
+    }
+    if (exact != LocateExact::kNone && lvl > 0) {
+      // Adaptive exact-match exit (DESIGN.md §8.3): the target's promoted
+      // tower is visible at this upper level, so the remaining descent can
+      // only re-find the same tower.  The exit must observe the tower's
+      // level-0 ROOT unmarked: the root's mark is the deletion's
+      // linearization point, and in CAS-fallback mode a raise links its
+      // upper node by plain CAS before re-checking the stop word, so an
+      // unmarked upper node can transiently coexist with an already-marked
+      // root (§3.5(5)).  A marked (or recycled/re-keyed) root simply falls
+      // through to the normal descent, which re-resolves everything.
+      Node_t* hit = nullptr;
+      if (exact == LocateExact::kRight) {
+        if (b.right->kind() == NodeKind::kInterior && b.right->ikey() == x) {
+          hit = b.right;
+        }
+      } else if (b.left->kind() == NodeKind::kInterior &&
+                 b.left->ikey() == x - Ikey(1)) {
+        hit = b.left;
+      }
+      if (hit != nullptr) {
+        Node_t* root = hit->root();
+        if (root != nullptr && root->kind() == NodeKind::kInterior &&
+            root->level() == 0 && root->ikey() == hit->ikey() &&
+            !is_marked(dcss_read(root->next))) {
+          if (exact_hit != nullptr) *exact_hit = true;
+          return exact == LocateExact::kRight ? Bracket{b.left, root}
+                                              : Bracket{root, b.right};
+        }
+      }
     }
     if (lvl <= floor) return b;  // floor > 0: chunk-terminated read (§7.2)
     --lvl;
@@ -245,8 +276,8 @@ void BasicSkipListEngine<Traits>::enable_leaf_chunking(bool on) {
 
 template <typename Traits>
 auto BasicSkipListEngine<Traits>::chunked_read(Cursor& cur, Ikey x,
-                                               StartFn fallback, void* env)
-    -> Bracket {
+                                               StartFn fallback, void* env,
+                                               LocateExact exact) -> Bracket {
   auto& c = tls_counters();
   LeafChunkManager<Traits>& cm = *chunks_;
   const bool was_warm = cur.warm();
@@ -358,8 +389,12 @@ auto BasicSkipListEngine<Traits>::chunked_read(Cursor& cur, Ikey x,
   // names its root's chunk (chunkw); its root is itself a sound level-0
   // start should the chunk scan come back empty.
   uint32_t stopped_at = 0;
+  bool exact_hit = false;
   Bracket b = cur.seek(x, /*cold_min_level=*/0, fallback, env, chunk_entry_,
-                       &stopped_at);
+                       &stopped_at, exact, &exact_hit);
+  // An exact exit's bracket is final (its far side is the target's level-0
+  // root) — the chunk resolution below would only redo the work.
+  if (exact_hit) return b;
   if (stopped_at == 0) return b;  // entered at level 0: already a bracket
   Node_t* lstart = head_[0];
   uint32_t hw = 0;
@@ -401,10 +436,12 @@ auto BasicSkipListEngine<Traits>::chunked_read(Cursor& cur, Ikey x,
 
 template <typename Traits>
 auto BasicSkipListEngine<Traits>::cursor_descend(Cursor& cur, Ikey x,
-                                                 StartFn fallback, void* env)
+                                                 StartFn fallback, void* env,
+                                                 LocateExact exact)
     -> Bracket {
-  if (chunks_ != nullptr) return chunked_read(cur, x, fallback, env);
-  return cur.seek(x, /*cold_min_level=*/0, fallback, env);
+  if (chunks_ != nullptr) return chunked_read(cur, x, fallback, env, exact);
+  return cur.seek(x, /*cold_min_level=*/0, fallback, env, /*stop_level=*/0,
+                  /*stopped_at=*/nullptr, exact);
 }
 
 template <typename Traits>
@@ -436,16 +473,19 @@ auto BasicSkipListEngine<Traits>::cursor_erase(Cursor& cur, Ikey x,
 template <typename Traits>
 auto BasicSkipListEngine<Traits>::fingered_descend(Ikey x, uint32_t min_level,
                                                    StartFn fallback, void* env,
-                                                   Node_t** hints) -> Bracket {
+                                                   Node_t** hints,
+                                                   LocateExact exact)
+    -> Bracket {
   Cursor cur(*this);
   if (chunks_ != nullptr && min_level == 0 && hints == nullptr) {
     // Pure read: the chunk-terminated path (DESIGN.md §7.2).  Callers that
     // want per-level hints (or a minimum entry level) need the full
     // descent — those are the write paths, which maintain the chunks
     // instead of reading through them.
-    return chunked_read(cur, x, fallback, env);
+    return chunked_read(cur, x, fallback, env, exact);
   }
-  const Bracket b = cur.seek(x, min_level, fallback, env);
+  const Bracket b = cur.seek(x, min_level, fallback, env, /*stop_level=*/0,
+                             /*stopped_at=*/nullptr, exact);
   if (hints != nullptr) {
     std::copy(cur.hints(), cur.hints() + top_ + 1, hints);
   }
@@ -797,6 +837,138 @@ auto BasicSkipListEngine<Traits>::erase_from(Ikey x, Node_t** hints,
       fix_prev(b.left, b.right);
       if (!is_marked(dcss_read(b.right->next))) break;
       bo.spin();  // successor is being deleted too; let its owner finish
+    }
+    res.top_left = l;
+  }
+  return res;
+}
+
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::promote_tower(Ikey x, Node_t* root,
+                                                uint32_t to_height)
+    -> PromoteResult {
+  PromoteResult res;
+  if (to_height > top_) to_height = top_;
+  Node_t* hints[kMaxLevels + 1];
+  const Bracket b0 = descend(x, head_[top_], hints);
+  // The tower must still be THIS root, alive and unclaimed: pointer identity
+  // against the level-0 bracket rules out an erased-and-reinserted key, and
+  // the stop-word / mark checks rule out a delete in progress.  (A delete
+  // starting after these checks is fine — every raise below re-checks the
+  // stop word and is DCSS-guarded on it, exactly like insert's raises.)
+  if (b0.right != root ||
+      root->stopw.load(std::memory_order_seq_cst) != 0 ||
+      is_marked(dcss_read(root->next))) {
+    return res;
+  }
+  // Probe the tower's current height, collecting the topmost live node as
+  // the down-link for the first new level.  Heights are contiguous: insert
+  // raises bottom-up and demote sweeps top-down, so the first absent level
+  // ends the tower.
+  Node_t* below = root;
+  for (uint32_t lvl = 1; lvl <= top_; ++lvl) {
+    Node_t* left = hints[lvl];
+    Node_t* tn = find_tower_node(x, root, lvl, left);
+    hints[lvl] = left;
+    if (tn == nullptr) break;
+    below = tn;
+    res.new_height = lvl;
+  }
+  if (res.new_height >= to_height) return res;
+  for (uint32_t lvl = res.new_height + 1; lvl <= to_height; ++lvl) {
+    Node_t* n = make_node(x, lvl, to_height, below, root);
+    const RaiseStatus st = raise_level(root, n, x, lvl, hints[lvl]);
+    if (st == RaiseStatus::kStoppedPublished) {
+      // CAS-fallback top-level undo: caller trie-sweeps, then retires
+      // (identical to InsertResult::undone_top, DESIGN.md §3.5(5)).
+      res.undone_top = n;
+      return res;
+    }
+    if (st == RaiseStatus::kStoppedUnpublished) {
+      // Same disposal rule as insert_from: an unmarked n was never
+      // published; a marked one was undone inside raise_level (which
+      // already retired it).
+      if (!is_marked(n->next.load(std::memory_order_acquire))) {
+        n->poison();
+        arena_.recycle(n);
+      }
+      return res;
+    }
+    below = n;
+    res.new_height = lvl;
+    res.raised = true;
+  }
+  if (res.new_height == top_) {
+    res.top = below;
+    fix_prev(hints[top_], res.top);
+  }
+  return res;
+}
+
+template <typename Traits>
+auto BasicSkipListEngine<Traits>::demote_tower(Ikey x, Node_t* root,
+                                               uint32_t to_height)
+    -> EraseResult {
+  EraseResult res;
+  if (to_height >= top_) return res;
+  Node_t* hints[kMaxLevels + 1];
+  const Bracket b0 = descend(x, head_[top_], hints);
+  // Unlike erase, demotion must NOT claim the stop word: a concurrent erase
+  // losing its 0->1 claim returns "not present" while the key is still in
+  // the set — a linearizability violation.  Instead bail when a delete
+  // already owns the tower; a delete claiming AFTER this check just races
+  // the sweep below, which the mark-CAS ownership protocol already
+  // arbitrates (each node is retired by exactly one winner, and res.top is
+  // only reported by the top mark's winner).
+  if (b0.right != root || is_marked(dcss_read(root->next)) ||
+      root->stopw.load(std::memory_order_seq_cst) != 0) {
+    return res;
+  }
+  // Top-down sweep of the levels above to_height, repeated until a pass
+  // finds nothing (a still-running original insert's raise may relink a
+  // level mid-sweep; its raise loop is finite, so this terminates).  Level 0
+  // is never marked, preserving "an unmarked upper node implies the key is
+  // present" for the exact-exit validation (DESIGN.md §8.3).
+  for (;;) {
+    bool found_any = false;
+    for (int lvl = static_cast<int>(top_); lvl > static_cast<int>(to_height);
+         --lvl) {
+      Node_t* left = hints[lvl];
+      Node_t* tn = find_tower_node(x, root, static_cast<uint32_t>(lvl), left);
+      hints[lvl] = left;
+      if (tn == nullptr) continue;
+      found_any = true;
+      if (static_cast<uint32_t>(lvl) == top_) {
+        if (!tn->ready()) {
+          fix_prev(left, tn);  // Alg. 2: complete the insertion first
+        }
+        const bool won = mark_node(tn, left);
+        set_prev_mark(tn);
+        list_search(x, left, static_cast<uint32_t>(lvl));  // force unlink
+        if (won) {
+          res.top = tn;  // mark winner owns the trie sweep + retirement
+          res.owned[res.owned_count++] = tn;
+        }
+      } else {
+        const bool won = mark_node(tn, left);
+        list_search(x, left, static_cast<uint32_t>(lvl));
+        if (won) res.owned[res.owned_count++] = tn;
+      }
+    }
+    if (!found_any) break;
+  }
+  res.erased = res.owned_count > 0;
+  if (res.top != nullptr) {
+    // Successor prev repair, exactly as erase_from does after removing a
+    // top node (Alg. 2 lines 4-7).
+    Node_t* l = hints[top_];
+    Backoff bo;
+    for (int i = 0; i < kFixPrevRetries; ++i) {
+      Bracket b = list_search(x, l, top_);
+      l = b.left;
+      fix_prev(b.left, b.right);
+      if (!is_marked(dcss_read(b.right->next))) break;
+      bo.spin();
     }
     res.top_left = l;
   }

@@ -76,6 +76,16 @@ struct WorkloadConfig {
   // record each sub-batch's wall time divided by its key count (amortized
   // per-key latency).
   uint32_t batch_size = 1;
+  // Hot-set drift (schema v8, DESIGN.md §8.1).  When true and dist is
+  // kZipf, every worker re-salts its generator's rank→key permutation at
+  // the 25/50/75% checkpoints of its own op stream, rotating which keys
+  // are hot three times per run.  All workers share the per-phase salt
+  // (derived from `seed` and the phase index), so they agree on the hot
+  // set within a phase; the prefill pass runs at phase 0, matching the
+  // first quarter.  Exercises the adaptive-height policy's demotion side:
+  // keys promoted in one phase go cold in the next.  No effect on other
+  // distributions or when false (the salt stays 0 = the historical map).
+  bool zipf_drift = false;
 };
 
 // Per-operation-type tallies: counts, hits, attributed search steps, and the
@@ -120,6 +130,33 @@ struct LeafCheckpoints {
   }
 };
 
+// Structural checkpoint digest (schema v8, DESIGN.md §8.4).  Same sampling
+// seam as LeafCheckpoints: worker 0 reads StructureLiveStats — four relaxed
+// atomic loads — at 25/50/75% of its own stream, plus one final sample at
+// quiescence.  min/max top-level population over every sample chart how the
+// adaptive policy reshapes the structure mid-run; the final
+// promotion/demotion totals are the policy's cumulative activity.  `samples`
+// is 0 when the set type exposes no structure stats; adaptation-off runs
+// sample but report zero promotions/demotions.
+struct StructureCheckpoints {
+  uint32_t samples = 0;
+  uint64_t min_top = 0, max_top = 0, final_top = 0;
+  uint64_t final_keys = 0;
+  uint64_t final_promotions = 0, final_demotions = 0;
+
+  void fold(const StructureLiveStats& s, bool is_final) {
+    if (samples == 0 || s.top_count < min_top) min_top = s.top_count;
+    if (samples == 0 || s.top_count > max_top) max_top = s.top_count;
+    if (is_final) {
+      final_top = s.top_count;
+      final_keys = s.keys;
+      final_promotions = s.promotions;
+      final_demotions = s.demotions;
+    }
+    ++samples;
+  }
+};
+
 struct WorkloadResult {
   double seconds = 0.0;
   uint64_t total_ops = 0;
@@ -130,6 +167,7 @@ struct WorkloadResult {
   StepCounters steps;
   OpTypeStats by_type[kOpTypeCount];
   LeafCheckpoints leaf;
+  StructureCheckpoints structure;
 
   const OpTypeStats& of(OpType t) const {
     return by_type[static_cast<size_t>(t)];
@@ -184,6 +222,13 @@ concept HasLeafStats = requires(const Set& cs) {
   { cs.leaf_live_stats() } -> std::convertible_to<LeafLiveStats>;
 };
 
+// Detects the mid-run-safe structural sampler (SkipTrie and ShardedEngine
+// expose it; the baselines do not and skip structure checkpointing).
+template <typename Set>
+concept HasStructureLive = requires(const Set& cs) {
+  { cs.structure_live_stats() } -> std::convertible_to<StructureLiveStats>;
+};
+
 // Runs cfg against `set`.  Set must provide bool insert(uint64_t),
 // bool erase(uint64_t), bool contains(uint64_t) const and
 // std::optional<uint64_t> predecessor(uint64_t) const; the batch API is
@@ -207,9 +252,10 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
 
   WorkloadResult result;
   std::mutex agg_mu;
-  // Mid-run leaf-chunk checkpoints (schema v7): written by worker 0 only,
-  // read by the main thread after join — no locking needed.
+  // Mid-run checkpoints (schema v7/v8): written by worker 0 only, read by
+  // the main thread after join — no locking needed.
   std::vector<LeafLiveStats> leaf_samples;
+  std::vector<StructureLiveStats> structure_samples;
   SpinBarrier barrier(cfg.threads + 1);
   std::vector<std::thread> threads;
   threads.reserve(cfg.threads);
@@ -250,23 +296,34 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
         }
         return OpType::kLookup;
       };
-      // 25/50/75% checkpoints over worker 0's own stream; sampling is three
-      // relaxed atomic loads, cheap enough to take inside the timed phase.
-      [[maybe_unused]] const uint64_t cp_at[3] = {
+      // 25/50/75% checkpoints over each worker's own op stream.  Worker 0
+      // samples the mid-run-safe stats there (a few relaxed atomic loads,
+      // cheap enough inside the timed phase); with zipf drift on, EVERY
+      // worker re-salts its generator at the same stream offsets, so the
+      // hot set rotates coherently across threads (same per-phase salt,
+      // reached at the same per-worker op index).
+      const bool drift = cfg.zipf_drift && cfg.dist == KeyDist::kZipf;
+      const uint64_t cp_at[3] = {
           cfg.ops_per_thread / 4, cfg.ops_per_thread / 2,
           cfg.ops_per_thread / 4 * 3};
-      [[maybe_unused]] uint32_t next_cp = 0;
+      uint32_t next_cp = 0;
       barrier.arrive_and_wait();  // start together
       const Clock::time_point my_start = Clock::now();
       const StepCounters before = tls;
       for (uint64_t i = 0; i < cfg.ops_per_thread;) {
-        if constexpr (HasLeafStats<Set>) {
+        while (next_cp < 3 && i >= cp_at[next_cp]) {
           if (t == 0) {
-            while (next_cp < 3 && i >= cp_at[next_cp]) {
+            if constexpr (HasLeafStats<Set>) {
               leaf_samples.push_back(set.leaf_live_stats());
-              ++next_cp;
+            }
+            if constexpr (HasStructureLive<Set>) {
+              structure_samples.push_back(set.structure_live_stats());
             }
           }
+          ++next_cp;
+          // Phase salts 1..3 are shared by construction: every worker
+          // derives them from (cfg.seed, phase index) alone.
+          if (drift) gen.set_phase(mix64(cfg.seed ^ (0xd41f0000ull + next_cp)));
         }
         if constexpr (HasBatchApi<Set>) {
           if (use_batch) {
@@ -375,6 +432,12 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
   if constexpr (HasLeafStats<Set>) {
     for (const LeafLiveStats& s : leaf_samples) result.leaf.fold(s, false);
     result.leaf.fold(set.leaf_live_stats(), true);
+  }
+  if constexpr (HasStructureLive<Set>) {
+    for (const StructureLiveStats& s : structure_samples) {
+      result.structure.fold(s, false);
+    }
+    result.structure.fold(set.structure_live_stats(), true);
   }
   result.seconds =
       cfg.threads > 0 && last_end > first_start

@@ -1,0 +1,344 @@
+// Distribution-adaptive tower heights (DESIGN.md §8).
+//
+// Three layers of coverage:
+//   1. AdaptiveHeightManager unit tests — sketch counting/decay/aging, the
+//      threshold math (§8.2), the striped latches and the promotion
+//      registry's record/scan/drop cycle.
+//   2. Policy-through-structure tests on BasicSkipTrie — promotions observed
+//      under a skewed read stream, demotions under hot-set drift, the
+//      structural validator staying green throughout, and batch queries
+//      staying correct while a concurrent reader drives height changes.
+//   3. The ablation contract: with identical operation streams, adaptive on
+//      and off return identical results operation for operation (50k mixed
+//      ops, both KeyTraits) — adaptation is a layout policy, never a
+//      semantic change.
+//
+// Everything here is deterministic per thread (fixed LCG seeds, fixed
+// sampling cadence); the concurrent tests assert invariants, not schedules,
+// and are certified under -DSKIPTRIE_SANITIZE=address|thread by CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/key_traits.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/skiptrie.h"
+#include "core/validate.h"
+#include "skiplist/adaptive.h"
+
+namespace skiptrie {
+namespace {
+
+// --- 1. Manager unit tests --------------------------------------------------
+
+TEST(AdaptiveManager, NoteCountsAndCountOfReads) {
+  AdaptiveHeightManager m;
+  const uint64_t fp = (7ull << 32) | 5;  // tag 7, slot 5
+  EXPECT_EQ(m.count_of(fp), 0u);
+  for (uint32_t i = 1; i <= 10; ++i) EXPECT_EQ(m.note(fp), i);
+  EXPECT_EQ(m.count_of(fp), 10u);
+  EXPECT_EQ(m.total(), 10u);
+}
+
+TEST(AdaptiveManager, ConflictingTagsDecayThenTakeOver) {
+  AdaptiveHeightManager m;
+  const uint64_t a = (1ull << 32) | 9;  // tag 1, slot 9
+  const uint64_t b = (2ull << 32) | 9;  // tag 2, same slot
+  m.note(a);
+  m.note(a);                  // a: 2
+  EXPECT_EQ(m.note(b), 0u);   // decays a to 1, b not resident yet
+  EXPECT_EQ(m.count_of(a), 1u);
+  EXPECT_EQ(m.count_of(b), 0u);
+  EXPECT_EQ(m.note(b), 1u);   // a reaches 0: slot taken over
+  EXPECT_EQ(m.count_of(b), 1u);
+  EXPECT_EQ(m.count_of(a), 0u);
+}
+
+TEST(AdaptiveManager, AgingHalvesCountsAndTotalAtCap) {
+  AdaptiveHeightManager m;
+  const uint64_t hot = (7ull << 32) | 5;     // slot 5
+  const uint64_t filler = (9ull << 32) | 6;  // slot 6, never collides
+  for (int i = 0; i < 100; ++i) m.note(hot);
+  const uint64_t to_cap = AdaptiveHeightManager::kAgeCap - 100;
+  for (uint64_t i = 0; i < to_cap; ++i) m.note(filler);
+  // The note that reached kAgeCap aged the sketch: everything halved.
+  EXPECT_EQ(m.count_of(hot), 50u);
+  EXPECT_EQ(m.total(), AdaptiveHeightManager::kAgeCap / 2);
+}
+
+TEST(AdaptiveManager, DesiredHeightThresholdMath) {
+  using M = AdaptiveHeightManager;
+  // Below the absolute floor nothing promotes, whatever the total.
+  EXPECT_EQ(M::desired_height(M::kMinCount - 1, 0, 0, 5), 0u);
+  // At the floor with a tiny total, the top threshold (total >> 8 == 0) is
+  // met: straight to the top.
+  EXPECT_EQ(M::desired_height(M::kMinCount, 0, 0, 5), 5u);
+  // theta(l) = 2^-(8 + top - l): with total = 2^12 and top = 5 the level
+  // thresholds are 16 (l=5), 8 (l=4), 4 (l=3), ...
+  const uint64_t total = 1ull << 12;
+  EXPECT_EQ(M::desired_height(16, total, 0, 5), 5u);
+  EXPECT_EQ(M::desired_height(8, total, 0, 5), 4u);
+  EXPECT_EQ(M::desired_height(4, total, 0, 5), 3u);
+  // base_h floors the answer (an already-mid tower never "demotes" here).
+  EXPECT_EQ(M::desired_height(4, total, 4, 5), 4u);
+}
+
+TEST(AdaptiveManager, IsColdAppliesHysteresis) {
+  using M = AdaptiveHeightManager;
+  // keep = total >> (8 + (top - cur_h) + 2); cur_h = top = 5, total = 2^12:
+  // keep = 4.  kMinCount is an independent floor.
+  const uint64_t total = 1ull << 12;
+  EXPECT_TRUE(M::is_cold(3, total, 5, 5));    // below kMinCount
+  EXPECT_FALSE(M::is_cold(4, total, 5, 5));   // meets keep exactly
+  EXPECT_TRUE(M::is_cold(5, 1ull << 13, 5, 5));   // keep = 8
+  EXPECT_FALSE(M::is_cold(16, 1ull << 13, 5, 5));
+}
+
+TEST(AdaptiveManager, LatchStripesExcludeAndRelease) {
+  AdaptiveHeightManager m;
+  const uint64_t fp = 42;
+  EXPECT_TRUE(m.try_latch(fp));
+  EXPECT_FALSE(m.try_latch(fp));  // same stripe busy
+  m.unlatch(fp);
+  EXPECT_TRUE(m.try_latch(fp));
+  m.unlatch(fp);
+}
+
+TEST(AdaptiveManager, RegistryRecordScanDrop) {
+  AdaptiveHeightManager m;
+  int dummy = 0;
+  AdaptiveHeightManager::Promoted out;
+  // Empty registry: a full sweep finds nothing.
+  EXPECT_FALSE(m.next_demote_candidate(&out, 2048));
+  m.record_promoted(0xabcdef0123ull, &dummy, 2);
+  ASSERT_TRUE(m.next_demote_candidate(&out, 2048));
+  EXPECT_EQ(out.fp, 0xabcdef0123ull);
+  EXPECT_EQ(out.root, &dummy);
+  EXPECT_EQ(out.base_h, 2u);
+  m.drop_promoted(&dummy);
+  EXPECT_FALSE(m.next_demote_candidate(&out, 2048));
+}
+
+// --- 2. Policy through the structure ----------------------------------------
+
+// Deterministic mixed-congruential stream (not std::rand: reproducible).
+struct Lcg {
+  uint64_t s;
+  explicit Lcg(uint64_t seed) : s(seed) {}
+  uint64_t next() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return s >> 16;
+  }
+};
+
+TEST(AdaptiveTrie, SkewedReadsPromoteHotKeysAndStayValid) {
+  Config c;
+  c.universe_bits = 20;
+  c.adaptive_heights = true;  // explicit: the noadapt CI legs flip the default
+  SkipTrie t(c);
+  for (uint64_t k = 0; k < 1024; ++k) ASSERT_TRUE(t.insert(k * 3));
+  const uint64_t hot = 501 * 3;
+  // ~2^12 reads => ~2^8 samples of the hot fingerprint; the promotion
+  // threshold (max(total >> 8, kMinCount)) falls within the first hundred.
+  for (int i = 0; i < 4096; ++i) ASSERT_TRUE(t.contains(hot));
+  const StructureLiveStats s = t.structure_live_stats();
+  EXPECT_GE(s.promotions, 1u);
+  EXPECT_EQ(s.keys, 1024u);
+  // The structure stays fully legal after promotion (tower contiguity,
+  // trie coverage of every top node, prev-chain sanity ...).
+  EXPECT_TRUE(validate_structure(t).empty());
+  // And the promoted key still answers queries exactly.
+  EXPECT_TRUE(t.contains(hot));
+  EXPECT_FALSE(t.contains(hot + 1));
+  ASSERT_TRUE(t.predecessor(hot + 1).has_value());
+  EXPECT_EQ(*t.predecessor(hot + 1), hot);
+  EXPECT_EQ(*t.successor(hot), hot + 3);
+}
+
+TEST(AdaptiveTrie, HotSetDriftEventuallyDemotes) {
+  Config c;
+  c.universe_bits = 22;
+  c.adaptive_heights = true;
+  SkipTrie t(c);
+  for (uint64_t k = 0; k < 4096; ++k) ASSERT_TRUE(t.insert(k));
+  // Rotate the hot set: each phase hammers 48 fresh keys until they promote;
+  // each promotion pays for a 2-probe registry scan, so earlier phases' now-
+  // cold toppers are found and demoted as the cursor sweeps the registry
+  // (bounded amortized rotation, DESIGN.md §8.1).  Earlier-phase counts decay
+  // by sketch aging, so the is_cold hysteresis eventually passes.
+  AdaptiveHeightManager* am = t.adaptive();
+  ASSERT_NE(am, nullptr);
+  for (int phase = 0; phase < 24 && am->demotions() == 0; ++phase) {
+    for (int j = 0; j < 48; ++j) {
+      const uint64_t k = static_cast<uint64_t>(phase) * 48 + j;
+      for (int r = 0; r < 512; ++r) ASSERT_TRUE(t.contains(k));
+    }
+  }
+  const StructureLiveStats s = t.structure_live_stats();
+  EXPECT_GT(s.promotions, 0u);
+  EXPECT_GT(s.demotions, 0u);
+  EXPECT_TRUE(validate_structure(t).empty());
+}
+
+TEST(AdaptiveTrie, PromotionsRaceEraseAndReinsertWithoutCorruption) {
+  // The invariant under concurrent erase (DESIGN.md §8.3): promotion raises
+  // are DCSS-guarded on the stop word and validated by pointer identity, so
+  // a promote racing an erase either completes before the claim or dies
+  // cleanly — never resurrects an erased key.  asan/tsan CI legs certify the
+  // reclamation side.
+  Config c;
+  c.universe_bits = 20;
+  c.adaptive_heights = true;
+  SkipTrie t(c);
+  constexpr uint64_t kHot = 16;
+  for (uint64_t k = 0; k < 512; ++k) ASSERT_TRUE(t.insert(k));
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (uint64_t k = 0; k < kHot; ++k) t.contains(k * 7);
+    }
+  });
+  std::thread writer([&] {
+    for (int round = 0; round < 400; ++round) {
+      for (uint64_t k = 0; k < kHot; ++k) t.erase(k * 7);
+      for (uint64_t k = 0; k < kHot; ++k) ASSERT_TRUE(t.insert(k * 7));
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  reader.join();
+  writer.join();
+  // Writer's last action reinserted every hot key.
+  for (uint64_t k = 0; k < kHot; ++k) EXPECT_TRUE(t.contains(k * 7));
+  EXPECT_EQ(t.structure_live_stats().keys, 512u);
+  EXPECT_TRUE(validate_structure(t).empty());
+}
+
+TEST(AdaptiveTrie, BatchBracketsSurviveConcurrentHeightChanges) {
+  // Batched queries park a DescentCursor between keys; a concurrent
+  // promotion/demotion changes tower heights under it.  The cursor's reuse
+  // screen must keep every answer exact regardless (DESIGN.md §8.3).
+  Config c;
+  c.universe_bits = 20;
+  c.adaptive_heights = true;
+  SkipTrie t(c);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 2048; ++k) keys.push_back(k * 5 + 2);
+  for (const uint64_t k : keys) ASSERT_TRUE(t.insert(k));
+  std::vector<uint64_t> probes;  // alternating hits and misses
+  for (uint64_t k = 0; k < 2048; ++k) {
+    probes.push_back(k * 5 + 2);
+    probes.push_back(k * 5 + 3);
+  }
+  std::atomic<bool> stop{false};
+  std::thread heater([&] {
+    Lcg rng(0xc0ffee);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t hot = keys[rng.next() & 15];  // 16-key hot set
+      for (int i = 0; i < 64; ++i) t.contains(hot);
+    }
+  });
+  std::vector<uint8_t> has(probes.size());
+  std::vector<std::optional<uint64_t>> pred(probes.size());
+  for (int round = 0; round < 50; ++round) {
+    t.contains_batch(probes, has.data());
+    t.predecessor_batch(probes, pred.data());
+    for (size_t i = 0; i < probes.size(); ++i) {
+      ASSERT_EQ(static_cast<bool>(has[i]), (probes[i] - 2) % 5 == 0) << i;
+      const uint64_t expect = probes[i] - ((probes[i] - 2) % 5 == 0 ? 0 : 1);
+      ASSERT_TRUE(pred[i].has_value()) << i;
+      ASSERT_EQ(*pred[i], expect) << i;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  heater.join();
+  EXPECT_GT(t.structure_live_stats().promotions, 0u);
+  EXPECT_TRUE(validate_structure(t).empty());
+}
+
+// --- 3. Ablation equivalence (both KeyTraits) -------------------------------
+
+template <typename Traits>
+class TypedAblationTest : public ::testing::Test {
+ protected:
+  using Trie = BasicSkipTrie<Traits>;
+  using K = typename Traits::key_type;
+
+  static Config cfg(bool adaptive) {
+    Config c;
+    if constexpr (Traits::kMaxBits > 64) c.universe_bits = 120;
+    c.adaptive_heights = adaptive;
+    return c;
+  }
+  // Strictly monotone embedding (wide keys overflow 64 bits, like
+  // batch_test).
+  static K key(uint64_t k) {
+    if constexpr (Traits::kMaxBits > 64) {
+      return (K(k) << 56) | K(k);
+    } else {
+      return K(k);
+    }
+  }
+};
+
+using AblationTraits = ::testing::Types<U64Traits, Bytes16Traits>;
+TYPED_TEST_SUITE(TypedAblationTest, AblationTraits);
+
+TYPED_TEST(TypedAblationTest, FiftyKOpReplayMatchesAdaptiveOff) {
+  // The ablation contract from ISSUE/DESIGN.md §8: identical op streams
+  // return identical results with adaptation on and off.  The stream is
+  // skewed (1-in-4 ops target a 16-key hot set) so the adaptive run really
+  // does promote, and includes inserts/erases so promoted towers get torn
+  // down mid-run.
+  using Fix = TypedAblationTest<TypeParam>;
+  using K = typename Fix::K;
+  typename Fix::Trie on(Fix::cfg(true)), off(Fix::cfg(false));
+  constexpr uint64_t kSpace = 4096;
+  Lcg rng(0x5eed5eed);
+  uint64_t hot_hits = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t r = rng.next();
+    const uint64_t idx =
+        (r & 3) == 0 ? ((r >> 8) & 15) * 7 : (r >> 8) % kSpace;
+    const K k = Fix::key(idx);
+    switch ((r >> 4) & 15) {
+      case 0:
+      case 1:
+      case 2: {  // 3/16 insert
+        ASSERT_EQ(on.insert(k), off.insert(k)) << "op " << i;
+        break;
+      }
+      case 3:
+      case 4: {  // 2/16 erase
+        ASSERT_EQ(on.erase(k), off.erase(k)) << "op " << i;
+        break;
+      }
+      case 5:
+      case 6:
+      case 7: {  // 3/16 predecessor
+        ASSERT_TRUE(on.predecessor(k) == off.predecessor(k)) << "op " << i;
+        break;
+      }
+      default: {  // 8/16 contains
+        const bool a = on.contains(k), b = off.contains(k);
+        ASSERT_EQ(a, b) << "op " << i;
+        if (a && (r & 3) == 0) ++hot_hits;
+        break;
+      }
+    }
+  }
+  // The skew actually exercised the policy: the adaptive run promoted, the
+  // control run could not have.
+  EXPECT_GT(hot_hits, 0u);
+  EXPECT_GT(on.structure_live_stats().promotions, 0u);
+  EXPECT_EQ(off.structure_live_stats().promotions, 0u);
+  EXPECT_EQ(on.size(), off.size());
+  EXPECT_TRUE(validate_structure(on).empty());
+  EXPECT_TRUE(validate_structure(off).empty());
+}
+
+}  // namespace
+}  // namespace skiptrie

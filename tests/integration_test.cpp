@@ -43,6 +43,10 @@ TEST(Integration, WorkloadOnSkipTrieBalancedMix) {
 TEST(Integration, WorkloadReadOnlyMakesNoStructuralWrites) {
   Config c;
   c.universe_bits = 24;
+  // With adaptive heights on, hot reads *do* write (promotion raises run
+  // CAS/DCSS on behalf of queries — DESIGN.md §8.1; adaptive_test covers
+  // that side).  This test pins the classic read-only contract.
+  c.adaptive_heights = false;
   SkipTrie t(c);
   WorkloadConfig cfg = quick_cfg();
   cfg.mix = OpMix::read_only();
@@ -79,6 +83,9 @@ TEST(Integration, WorkloadOnBaselines) {
 TEST(Integration, StepCountersSeparateSearchFromUpdateCost) {
   Config c;
   c.universe_bits = 32;
+  // Adaptive promotion writes on the read path; pin it off so "warmed
+  // read-only makes no updates" stays a meaningful separation.
+  c.adaptive_heights = false;
   SkipTrie t(c);
   WorkloadConfig cfg = quick_cfg();
   cfg.threads = 1;

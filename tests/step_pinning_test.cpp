@@ -78,6 +78,10 @@ void run_pinned(uint32_t bits, const PhaseGoldens& want) {
   // (chunk scans replace low-level hops), so it is pinned off here and its
   // on/off equivalence is covered by leaf_chunk_test's ablation cases.
   cfg.leaf_chunking = false;
+  // Adaptive heights likewise change the layout mid-run (promotions raise
+  // towers above their deterministic draw); off reproduces the seed layout
+  // bit-for-bit, which is exactly what these goldens pin.
+  cfg.adaptive_heights = false;
   SkipTrie t(cfg);
   const uint64_t maxk = t.max_key();
   Xoshiro256 rng(42);
